@@ -1,0 +1,298 @@
+// Package citadel is a from-scratch reproduction of "Citadel: Efficiently
+// Protecting Stacked Memory from Large Granularity Failures" (Nair, Roberts,
+// Qureshi — MICRO 2014).
+//
+// Citadel lets a 3D-stacked DRAM keep each cache line in a single bank —
+// preserving bank-level parallelism and activation power — while tolerating
+// large-granularity failures (columns, rows, banks, and TSVs). It combines
+// three mechanisms:
+//
+//   - TSV-SWAP: runtime repair of faulty through-silicon vias using
+//     stand-by TSVs carved from the existing data-TSV pool.
+//   - 3DP (Tri-Dimensional Parity): CRC-32 detection per line plus XOR
+//     parity in three orthogonal dimensions for correction.
+//   - DDS (Dynamic Dual-granularity Sparing): permanent faults are spared
+//     at row or bank granularity to stop fault accumulation.
+//
+// The package offers three entry points:
+//
+//   - SimulateReliability runs FaultSim-style Monte Carlo lifetime studies
+//     for any protection Scheme (the paper's Figures 4, 9, 14, 18, 19).
+//   - SimulatePerformance runs the queueing performance/power model over
+//     synthetic SPEC/PARSEC/BioBench workloads (Figures 5, 13, 15, 16).
+//   - NewController builds a bit-accurate functional model of the Citadel
+//     pipeline (CRC → TSV-SWAP → 3DP → DDS) with fault injection.
+package citadel
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/parity"
+	"repro/internal/sparing"
+	"repro/internal/stack"
+)
+
+// Config is the stacked-memory geometry (see DefaultConfig for the paper's
+// Table II baseline).
+type Config = stack.Config
+
+// DefaultConfig returns the paper's baseline system: two 8 GB stacks of
+// eight 8 Gb data dies plus one metadata die each.
+func DefaultConfig() Config { return stack.DefaultConfig() }
+
+// Striping selects the cache-line data layout.
+type Striping = stack.Striping
+
+// Striping layouts (paper §II-D).
+const (
+	SameBank       = stack.SameBank
+	AcrossBanks    = stack.AcrossBanks
+	AcrossChannels = stack.AcrossChannels
+)
+
+// FITRates holds per-die failure rates; Table1Rates reproduces the paper's
+// Table I for 8 Gb dies.
+type FITRates = fault.Rates
+
+// Table1Rates returns the paper's Table I failure rates (no TSV faults;
+// use WithTSV for the sensitivity sweep).
+func Table1Rates() FITRates { return fault.Table1() }
+
+// Scheme enumerates the protection schemes the paper evaluates.
+type Scheme int
+
+const (
+	// SchemeNone is the unprotected baseline.
+	SchemeNone Scheme = iota
+	// SchemeSymbol8SameBank: strong 8-bit symbol code, line in one bank.
+	SchemeSymbol8SameBank
+	// SchemeSymbol8AcrossBanks: symbol code, line striped across the banks
+	// of one channel.
+	SchemeSymbol8AcrossBanks
+	// SchemeSymbol8AcrossChannels: symbol code, line striped across
+	// channels (the ChipKill-like baseline of Figures 14/18).
+	SchemeSymbol8AcrossChannels
+	// Scheme1DP: parity bank only.
+	Scheme1DP
+	// Scheme2DP: Dimensions 1+2.
+	Scheme2DP
+	// Scheme3DP: full Tri-Dimensional Parity.
+	Scheme3DP
+	// Scheme3DPDDS: 3DP plus Dynamic Dual-granularity Sparing.
+	Scheme3DPDDS
+	// SchemeCitadel: TSV-SWAP + 3DP + DDS (the full proposal).
+	SchemeCitadel
+	// SchemeBCH6EC7ED: 6-bit-correct/7-bit-detect BCH per line (§VIII-F).
+	SchemeBCH6EC7ED
+	// SchemeRAID5: RAID-5-style parity across channels (§VIII-F).
+	SchemeRAID5
+	// Scheme2DECC: prior-work 2D error coding over 32x32 cell tiles
+	// (§VIII-E); small-granularity protection only.
+	Scheme2DECC
+	numSchemes
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "None"
+	case SchemeSymbol8SameBank:
+		return "Symbol8/Same-Bank"
+	case SchemeSymbol8AcrossBanks:
+		return "Symbol8/Across-Banks"
+	case SchemeSymbol8AcrossChannels:
+		return "Symbol8/Across-Channels"
+	case Scheme1DP:
+		return "1DP"
+	case Scheme2DP:
+		return "2DP"
+	case Scheme3DP:
+		return "3DP"
+	case Scheme3DPDDS:
+		return "3DP+DDS"
+	case SchemeCitadel:
+		return "Citadel"
+	case SchemeBCH6EC7ED:
+		return "BCH-6EC7ED"
+	case SchemeRAID5:
+		return "RAID-5"
+	case Scheme2DECC:
+		return "2D-ECC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists every scheme.
+func Schemes() []Scheme {
+	out := make([]Scheme, 0, int(numSchemes))
+	for s := SchemeNone; s < numSchemes; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// policy translates a Scheme (optionally with TSV-SWAP forced on, as the
+// paper does for all systems after §V-D) into an engine policy.
+func (s Scheme) policy(cfg Config, tsvSwap bool) faultsim.Policy {
+	dds := func(c stack.Config) faultsim.Sparer { return sparing.New(c) }
+	var p faultsim.Policy
+	switch s {
+	case SchemeNone:
+		p = faultsim.Policy{Predicate: ecc.NoProtection{}}
+	case SchemeSymbol8SameBank:
+		p = faultsim.Policy{Predicate: ecc.NewSymbol8(cfg, stack.SameBank)}
+	case SchemeSymbol8AcrossBanks:
+		p = faultsim.Policy{Predicate: ecc.NewSymbol8(cfg, stack.AcrossBanks)}
+	case SchemeSymbol8AcrossChannels:
+		p = faultsim.Policy{Predicate: ecc.NewSymbol8(cfg, stack.AcrossChannels)}
+	case Scheme1DP:
+		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.OneDP)}
+	case Scheme2DP:
+		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.TwoDP)}
+	case Scheme3DP:
+		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP)}
+	case Scheme3DPDDS:
+		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP), NewSparer: dds}
+	case SchemeCitadel:
+		p = faultsim.Policy{
+			Predicate: ecc.NewParity(cfg, parity.ThreeDP),
+			NewSparer: dds, UseTSVSwap: true,
+		}
+	case SchemeBCH6EC7ED:
+		p = faultsim.Policy{Predicate: ecc.NewBCH6EC7ED(cfg)}
+	case SchemeRAID5:
+		p = faultsim.Policy{Predicate: ecc.NewRAID5(cfg)}
+	case Scheme2DECC:
+		p = faultsim.Policy{Predicate: ecc.NewTwoDECC(cfg)}
+	default:
+		p = faultsim.Policy{Predicate: ecc.NoProtection{}}
+	}
+	if tsvSwap {
+		p.UseTSVSwap = true
+	}
+	p.Name = s.String()
+	if p.UseTSVSwap && s != SchemeCitadel {
+		p.Name += "+TSV-Swap"
+	}
+	return p
+}
+
+// ReliabilityOptions configures a Monte Carlo reliability study.
+type ReliabilityOptions struct {
+	// Config is the geometry (default: DefaultConfig).
+	Config Config
+	// Rates are the FIT rates (default: Table1Rates).
+	Rates FITRates
+	// Trials is the Monte Carlo trial count (default 100000).
+	Trials int
+	// LifetimeYears is the evaluated lifetime (default 7).
+	LifetimeYears float64
+	// ScrubIntervalHours is the scrub period (default 12).
+	ScrubIntervalHours float64
+	// TSVSwap forces TSV-SWAP on for every scheme (the paper enables it
+	// for all systems after §V-D).
+	TSVSwap bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Result is the outcome of a reliability run.
+type Result = faultsim.Result
+
+// withDefaults fills zero fields.
+func (o ReliabilityOptions) withDefaults() ReliabilityOptions {
+	if o.Config.Stacks == 0 {
+		o.Config = DefaultConfig()
+	}
+	zero := FITRates{}
+	if o.Rates == zero {
+		o.Rates = Table1Rates()
+	}
+	if o.LifetimeYears == 0 {
+		o.LifetimeYears = 7
+	}
+	return o
+}
+
+// engineOptions converts to the internal engine options.
+func (o ReliabilityOptions) engineOptions() faultsim.Options {
+	return faultsim.Options{
+		Config:             o.Config,
+		Rates:              o.Rates,
+		Trials:             o.Trials,
+		LifetimeHours:      o.LifetimeYears * fault.HoursPerYear,
+		ScrubIntervalHours: o.ScrubIntervalHours,
+		Seed:               o.Seed,
+		Workers:            o.Workers,
+	}
+}
+
+// SimulateReliability estimates the probability of system failure for one
+// scheme under the given options.
+func SimulateReliability(opts ReliabilityOptions, scheme Scheme) Result {
+	opts = opts.withDefaults()
+	return faultsim.Run(opts.engineOptions(), scheme.policy(opts.Config, opts.TSVSwap))
+}
+
+// CompareReliability runs several schemes under identical options.
+func CompareReliability(opts ReliabilityOptions, schemes ...Scheme) []Result {
+	opts = opts.withDefaults()
+	out := make([]Result, len(schemes))
+	for i, s := range schemes {
+		out[i] = faultsim.Run(opts.engineOptions(), s.policy(opts.Config, opts.TSVSwap))
+	}
+	return out
+}
+
+// SimulateReliabilityAdaptive adds trials in batches until targetFailures
+// failures are observed (tight relative confidence on rare-event schemes
+// like Citadel) or maxTrials is reached — the paper's "more trials for
+// schemes that show lower failure rates" methodology (§III-B).
+func SimulateReliabilityAdaptive(opts ReliabilityOptions, scheme Scheme, targetFailures, maxTrials int) Result {
+	opts = opts.withDefaults()
+	return faultsim.RunAdaptive(faultsim.AdaptiveOptions{
+		Options:        opts.engineOptions(),
+		TargetFailures: targetFailures,
+		MaxTrials:      maxTrials,
+	}, scheme.policy(opts.Config, opts.TSVSwap))
+}
+
+// FaultCensus tallies permanent-fault anatomy over lifetimes: the bimodal
+// rows-per-faulty-bank histogram (Figure 17) and the failed-banks-per-system
+// distribution (Table III).
+type FaultCensus = faultsim.Census
+
+// RunFaultCensus performs the census behind Figure 17 and Table III.
+func RunFaultCensus(opts ReliabilityOptions) FaultCensus {
+	opts = opts.withDefaults()
+	return faultsim.RunCensus(opts.engineOptions(), opts.TSVSwap)
+}
+
+// StorageOverhead reports Citadel's storage budget (paper §VII-E): the
+// metadata-die fraction, the parity-bank fraction, and the on-chip SRAM
+// bytes for Dimension-2/3 parity plus the DDS tables.
+type StorageOverhead struct {
+	MetadataFraction   float64 // extra DRAM for the metadata die
+	ParityBankFraction float64 // one data bank dedicated to Dim-1 parity
+	SRAMBytes          int     // on-chip parity rows + RRT/BRT
+}
+
+// Total returns the total DRAM storage overhead fraction.
+func (s StorageOverhead) Total() float64 { return s.MetadataFraction + s.ParityBankFraction }
+
+// ComputeStorageOverhead evaluates the overhead accounting for a geometry.
+func ComputeStorageOverhead(cfg Config) StorageOverhead {
+	dim23Rows := (cfg.DataDies + cfg.ECCDies) + cfg.BanksPerDie // 9 + 8 rows
+	return StorageOverhead{
+		MetadataFraction:   float64(cfg.ECCDies) / float64(cfg.DataDies),
+		ParityBankFraction: 1 / float64(cfg.DataDies*cfg.BanksPerDie),
+		SRAMBytes:          dim23Rows*cfg.RowBytes + sparing.OverheadBits(cfg)/8,
+	}
+}

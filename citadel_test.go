@@ -1,0 +1,194 @@
+package citadel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSchemeNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Schemes() {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate scheme name %q", name)
+		}
+		seen[name] = true
+	}
+	if Scheme(99).String() != "Scheme(99)" {
+		t.Error("unknown scheme name wrong")
+	}
+	if len(Schemes()) != 12 {
+		t.Errorf("Schemes() = %d entries, want 12", len(Schemes()))
+	}
+}
+
+func TestSimulateReliabilityDefaults(t *testing.T) {
+	r := SimulateReliability(ReliabilityOptions{Trials: 3000, Seed: 1}, Scheme3DP)
+	if r.Trials != 3000 {
+		t.Errorf("trials = %d", r.Trials)
+	}
+	if r.Policy != "3DP" {
+		t.Errorf("policy = %q", r.Policy)
+	}
+	if len(r.FailuresByYear) != 7 {
+		t.Errorf("years = %d, want 7 (default lifetime)", len(r.FailuresByYear))
+	}
+}
+
+func TestCompareReliabilityOrdering(t *testing.T) {
+	// Core sanity at boosted rates: None fails most; Citadel least.
+	rates := Table1Rates()
+	rates.BankPermanent *= 50
+	rates.RowPermanent *= 50
+	opts := ReliabilityOptions{Rates: rates, Trials: 4000, Seed: 3}
+	rs := CompareReliability(opts, SchemeNone, Scheme1DP, Scheme3DP, SchemeCitadel)
+	if !(rs[0].Failures >= rs[1].Failures && rs[1].Failures >= rs[2].Failures && rs[2].Failures >= rs[3].Failures) {
+		t.Errorf("ordering violated: %v", []int{rs[0].Failures, rs[1].Failures, rs[2].Failures, rs[3].Failures})
+	}
+	if rs[0].Failures == 0 {
+		t.Error("no signal")
+	}
+}
+
+func TestTSVSwapOptionPropagates(t *testing.T) {
+	opts := ReliabilityOptions{
+		Rates:   Table1Rates().WithTSV(1430),
+		Trials:  4000,
+		Seed:    4,
+		TSVSwap: true,
+	}
+	with := SimulateReliability(opts, SchemeSymbol8SameBank)
+	opts.TSVSwap = false
+	without := SimulateReliability(opts, SchemeSymbol8SameBank)
+	if with.Failures >= without.Failures {
+		t.Errorf("TSV-Swap did not reduce failures: with=%d without=%d",
+			with.Failures, without.Failures)
+	}
+	if with.Policy == without.Policy {
+		t.Error("policy names should distinguish TSV-Swap")
+	}
+}
+
+func TestStorageOverheadMatchesPaper(t *testing.T) {
+	ov := ComputeStorageOverhead(DefaultConfig())
+	if math.Abs(ov.MetadataFraction-0.125) > 1e-9 {
+		t.Errorf("metadata fraction = %v, want 0.125", ov.MetadataFraction)
+	}
+	if math.Abs(ov.ParityBankFraction-1.0/64) > 1e-9 {
+		t.Errorf("parity bank fraction = %v, want 1/64", ov.ParityBankFraction)
+	}
+	// Paper §VII-E: ~14% total, ~35KB SRAM.
+	if ov.Total() < 0.13 || ov.Total() > 0.15 {
+		t.Errorf("total overhead = %v, want ~0.14", ov.Total())
+	}
+	if ov.SRAMBytes < 30<<10 || ov.SRAMBytes > 40<<10 {
+		t.Errorf("SRAM = %d bytes, want ~35KB", ov.SRAMBytes)
+	}
+}
+
+func TestRunFaultCensus(t *testing.T) {
+	rates := Table1Rates()
+	rates.BankPermanent *= 100
+	c := RunFaultCensus(ReliabilityOptions{Rates: rates, Trials: 2000, Seed: 5, TSVSwap: true})
+	if c.FaultyBankTotal() == 0 {
+		t.Error("census empty")
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	if len(Benchmarks()) != 38 {
+		t.Errorf("benchmarks = %d, want 38", len(Benchmarks()))
+	}
+	if _, ok := BenchmarkByName("mcf"); !ok {
+		t.Error("mcf missing")
+	}
+	if _, ok := BenchmarkByName("nope"); ok {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestSimulatePerformanceAPI(t *testing.T) {
+	b, _ := BenchmarkByName("gcc")
+	base := SimulatePerformance(b, PerfOptions{Requests: 10000, Seed: 1})
+	if base.Cycles == 0 || base.ActivePowerWatts <= 0 {
+		t.Fatalf("degenerate result: %+v", base)
+	}
+	striped := SimulatePerformance(b, PerfOptions{
+		Striping: AcrossChannels, Requests: 10000, Seed: 1,
+	})
+	if striped.Cycles <= base.Cycles {
+		t.Error("across-channels not slower than baseline for gcc")
+	}
+	if base.Benchmark != "gcc" {
+		t.Errorf("benchmark name = %q", base.Benchmark)
+	}
+}
+
+func TestProtectionNames(t *testing.T) {
+	if NoProtection.String() != "baseline" || Protection3DP.String() != "3DP" ||
+		Protection3DPNoCache.String() != "3DP-no-cache" {
+		t.Error("protection names wrong")
+	}
+	if Protection(9).String() != "Protection(9)" {
+		t.Error("unknown protection name wrong")
+	}
+}
+
+func TestMeasureParityCaching(t *testing.T) {
+	b, _ := BenchmarkByName("lbm")
+	r := MeasureParityCaching(b, 50000, 1)
+	if r.ParityProbes == 0 {
+		t.Fatal("no parity probes")
+	}
+	if hr := r.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestFunctionalControllerEndToEnd(t *testing.T) {
+	ctl, err := NewController(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.Repeat([]byte{0xA5}, ctl.Config().LineBytes)
+	if err := ctl.Write(3, line); err != nil {
+		t.Fatal(err)
+	}
+	co := ctl.Config().CoordOfLineIndex(3)
+	ctl.InjectFault(RowFault(co.Stack, co.Die, co.Bank, co.Row))
+	got, err := ctl.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, line) {
+		t.Error("data corrupted after row fault")
+	}
+	if ctl.Stats().Corrections == 0 {
+		t.Error("no correction recorded")
+	}
+}
+
+func TestFaultConstructors(t *testing.T) {
+	cfg := DefaultConfig()
+	rf := RowFault(0, 1, 2, 3)
+	if rf.Class != FaultRow || !rf.Region.Row.Contains(3) || rf.Region.Row.Contains(4) {
+		t.Error("RowFault wrong")
+	}
+	bf := BankFault(1, 2, 3)
+	if bf.Class != FaultBank || bf.Region.Stack != 1 || !bf.Region.Row.Contains(12345) {
+		t.Error("BankFault wrong")
+	}
+	wf := WordFault(0, 0, 0, 0, 130)
+	if wf.Class != FaultWord || !wf.Region.Col.Contains(128) || wf.Region.Col.Contains(64) {
+		t.Error("WordFault wrong")
+	}
+	df := DataTSVFault(cfg, 0, 1, 7)
+	if df.Class != FaultDataTSV || !df.Region.Col.Contains(7) || !df.Region.Col.Contains(263) {
+		t.Error("DataTSVFault wrong")
+	}
+	af := AddrTSVFault(0, 1, 4)
+	if af.Class != FaultAddrTSV || !af.Region.Row.Contains(16) || af.Region.Row.Contains(8) {
+		t.Error("AddrTSVFault wrong")
+	}
+}

@@ -1,0 +1,74 @@
+// Command citadel-repro regenerates the tables and figures of the Citadel
+// paper's evaluation.
+//
+// Usage:
+//
+//	citadel-repro -experiment all            # every paper table/figure
+//	citadel-repro -experiment ablations      # design-choice sensitivity studies
+//	citadel-repro -experiment everything     # both
+//	citadel-repro -experiment fig18 -trials 1000000
+//
+// Experiments: table1 table2 fig4 fig5 fig9 fig13 fig14 fig15 fig16 fig17
+// table3 fig18 fig19 overhead; ablations: orgs scrub spares tsvpool
+// paritysens.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		trials     = flag.Int("trials", 0, "Monte Carlo trials (0 = default)")
+		requests   = flag.Int("requests", 0, "performance-model requests (0 = default)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		asJSON     = flag.Bool("json", false, "emit reports as JSON lines")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *trials > 0 {
+		opt.Trials = *trials
+	}
+	if *requests > 0 {
+		opt.Requests = *requests
+	}
+	opt.Seed = *seed
+
+	ids := []string{*experiment}
+	switch *experiment {
+	case "all":
+		ids = experiments.All()
+	case "ablations":
+		ids = experiments.Ablations()
+	case "everything":
+		ids = append(experiments.All(), experiments.Ablations()...)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *asJSON {
+			out, _ := json.Marshal(map[string]any{
+				"id": rep.ID, "title": rep.Title, "text": rep.Text,
+				"seconds": time.Since(start).Seconds(),
+			})
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Printf("=== %s ===\n%s\n", rep.Title, rep.Text)
+		fmt.Printf("(%s: %.1fs)\n\n%s\n\n", rep.ID, time.Since(start).Seconds(),
+			strings.Repeat("-", 72))
+	}
+}

@@ -1,0 +1,37 @@
+// Command citadel-server exposes the simulators over HTTP/JSON for sweep
+// scripts and dashboards.
+//
+// Usage:
+//
+//	citadel-server -addr :8080
+//
+// Routes (see internal/api):
+//
+//	GET  /api/v1/schemes
+//	GET  /api/v1/benchmarks
+//	GET  /api/v1/overhead
+//	POST /api/v1/reliability   {"scheme":"Citadel","trials":100000,"tsvFit":1430,"tsvSwap":true}
+//	POST /api/v1/performance   {"benchmark":"mcf","striping":"across-channels"}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      api.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 10 * time.Minute, // Monte Carlo runs can be long
+	}
+	log.Printf("citadel-server listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

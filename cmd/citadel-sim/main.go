@@ -1,0 +1,85 @@
+// Command citadel-sim runs a single Monte Carlo reliability study for one
+// protection scheme.
+//
+// Usage:
+//
+//	citadel-sim -scheme Citadel -trials 200000 -tsv-fit 1430
+//	citadel-sim -scheme 3DP -tsvswap -years 5
+//	citadel-sim -scheme Citadel -target-failures 50 -max-trials 5000000
+//	citadel-sim -rates myrates.json -scheme 3DP
+//	citadel-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	citadel "repro"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "Citadel", "protection scheme (see -list)")
+		trials     = flag.Int("trials", 100000, "Monte Carlo trials")
+		tsvFIT     = flag.Float64("tsv-fit", 0, "TSV failure rate per die (FIT)")
+		tsvSwap    = flag.Bool("tsvswap", false, "force TSV-SWAP on")
+		years      = flag.Float64("years", 7, "lifetime in years")
+		scrub      = flag.Float64("scrub", 12, "scrub interval in hours")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list schemes and exit")
+		ratesPath  = flag.String("rates", "", "JSON file with custom FIT rates (overrides Table I)")
+		targetFail = flag.Int("target-failures", 0, "adaptive mode: add trials until this many failures")
+		maxTrials  = flag.Int("max-trials", 0, "adaptive mode: trial cap (default 10x -trials)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range citadel.Schemes() {
+			fmt.Println(s)
+		}
+		return
+	}
+	var scheme citadel.Scheme
+	found := false
+	for _, s := range citadel.Schemes() {
+		if s.String() == *schemeName {
+			scheme, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q; use -list\n", *schemeName)
+		os.Exit(2)
+	}
+
+	rates := citadel.Table1Rates()
+	if *ratesPath != "" {
+		loaded, err := fault.LoadRates(*ratesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rates = loaded
+	}
+	opts := citadel.ReliabilityOptions{
+		Rates:              rates.WithTSV(*tsvFIT),
+		Trials:             *trials,
+		LifetimeYears:      *years,
+		ScrubIntervalHours: *scrub,
+		TSVSwap:            *tsvSwap,
+		Seed:               *seed,
+	}
+	var res citadel.Result
+	if *targetFail > 0 {
+		res = citadel.SimulateReliabilityAdaptive(opts, scheme, *targetFail, *maxTrials)
+	} else {
+		res = citadel.SimulateReliability(opts, scheme)
+	}
+	fmt.Println(res)
+	fmt.Printf("%-6s %s\n", "year", "P(failure)")
+	for y := 1; y <= int(*years); y++ {
+		fmt.Printf("%-6d %.3e\n", y, res.ProbabilityByYear(y))
+	}
+}

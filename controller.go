@@ -1,0 +1,127 @@
+package citadel
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// Controller is the bit-accurate functional model of the Citadel pipeline:
+// per-line CRC-32 metadata, TSV-SWAP, working 3DP XOR reconstruction, and
+// DDS sparing with live redirection tables. Inject faults and watch reads
+// detect, correct, and spare.
+type Controller = core.Controller
+
+// ControllerStats counts pipeline events (corrections, sparings, repairs).
+type ControllerStats = core.Stats
+
+// ErrDataLoss is returned by Controller.Read when no parity dimension can
+// reconstruct a line.
+var ErrDataLoss = core.ErrDataLoss
+
+// NewController builds a functional Citadel controller. Reconstruction
+// reads whole parity groups, so prefer TinyConfig-scale geometries.
+func NewController(cfg Config) (*Controller, error) { return core.NewController(cfg) }
+
+// TinyConfig is a geometry small enough for exhaustive functional
+// simulation (1 stack, 4 data dies + 1 metadata die, 4 banks/die, 32 rows).
+func TinyConfig() Config { return core.TinyConfig() }
+
+// Fault is one fault event; build footprints with the helper constructors
+// below and inject via Controller.InjectFault.
+type Fault = fault.Fault
+
+// FaultClass is the granularity class of a fault.
+type FaultClass = fault.Class
+
+// Fault granularity classes.
+const (
+	FaultBit      = fault.Bit
+	FaultWord     = fault.Word
+	FaultColumn   = fault.Column
+	FaultRow      = fault.Row
+	FaultSubArray = fault.SubArray
+	FaultBank     = fault.Bank
+	FaultDataTSV  = fault.DataTSV
+	FaultAddrTSV  = fault.AddrTSV
+)
+
+// RowFault builds a permanent single-row fault footprint.
+func RowFault(stackIdx, die, bank, row int) Fault {
+	return Fault{
+		Class:       fault.Row,
+		Persistence: fault.Permanent,
+		Region: fault.Region{
+			Stack: stackIdx,
+			Die:   fault.ExactPattern(uint32(die)),
+			Bank:  fault.ExactPattern(uint32(bank)),
+			Row:   fault.ExactPattern(uint32(row)),
+			Col:   fault.AllPattern(),
+		},
+	}
+}
+
+// BankFault builds a permanent whole-bank fault footprint.
+func BankFault(stackIdx, die, bank int) Fault {
+	return Fault{
+		Class:       fault.Bank,
+		Persistence: fault.Permanent,
+		Region: fault.Region{
+			Stack: stackIdx,
+			Die:   fault.ExactPattern(uint32(die)),
+			Bank:  fault.ExactPattern(uint32(bank)),
+			Row:   fault.AllPattern(),
+			Col:   fault.AllPattern(),
+		},
+	}
+}
+
+// WordFault builds a permanent 64-bit word fault in one row. bitOffset is
+// the word-aligned bit position within the row.
+func WordFault(stackIdx, die, bank, row, bitOffset int) Fault {
+	return Fault{
+		Class:       fault.Word,
+		Persistence: fault.Permanent,
+		Region: fault.Region{
+			Stack: stackIdx,
+			Die:   fault.ExactPattern(uint32(die)),
+			Bank:  fault.ExactPattern(uint32(bank)),
+			Row:   fault.ExactPattern(uint32(row)),
+			Col:   fault.MaskPattern(^uint32(63), uint32(bitOffset)&^uint32(63)),
+		},
+	}
+}
+
+// DataTSVFault builds a permanent data-TSV fault for one channel: the
+// given TSV corrupts its bit positions in every transferred line.
+func DataTSVFault(cfg Config, stackIdx, die, tsvIdx int) Fault {
+	return Fault{
+		Class:       fault.DataTSV,
+		Persistence: fault.Permanent,
+		TSV:         tsvIdx,
+		Region: fault.Region{
+			Stack: stackIdx,
+			Die:   fault.ExactPattern(uint32(die)),
+			Bank:  fault.AllPattern(),
+			Row:   fault.AllPattern(),
+			Col:   fault.MaskPattern(uint32(cfg.DataTSVs-1), uint32(tsvIdx)),
+		},
+	}
+}
+
+// AddrTSVFault builds a permanent address-TSV fault: address bit `bit` of
+// the channel's row address is broken, making the rows with that bit set
+// unreachable.
+func AddrTSVFault(stackIdx, die, bit int) Fault {
+	return Fault{
+		Class:       fault.AddrTSV,
+		Persistence: fault.Permanent,
+		TSV:         bit,
+		Region: fault.Region{
+			Stack: stackIdx,
+			Die:   fault.ExactPattern(uint32(die)),
+			Bank:  fault.AllPattern(),
+			Row:   fault.MaskPattern(1<<uint(bit), 1<<uint(bit)),
+			Col:   fault.AllPattern(),
+		},
+	}
+}

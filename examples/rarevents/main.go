@@ -1,0 +1,53 @@
+// Rare-event analysis: Citadel's failure probability is so low that fixed
+// trial counts cannot resolve it. This example uses the adaptive Monte
+// Carlo mode (the paper's "more trials for schemes that show lower failure
+// rates", §III-B) and inspects the proximate causes of the failures that
+// do occur.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	citadel "repro"
+)
+
+func main() {
+	opts := citadel.ReliabilityOptions{
+		Rates:   citadel.Table1Rates().WithTSV(1430),
+		TSVSwap: true,
+		Trials:  50000, // batch size
+		Seed:    11,
+	}
+
+	fmt.Println("adaptive Monte Carlo: accumulate trials until 20 failures")
+	fmt.Println()
+	for _, scheme := range []citadel.Scheme{
+		citadel.Scheme3DP,
+		citadel.SchemeCitadel,
+	} {
+		start := time.Now()
+		res := citadel.SimulateReliabilityAdaptive(opts, scheme, 20, 2_000_000)
+		fmt.Printf("%-16s P(fail,7y) = %-10.3g  (%d failures / %d trials, %.1fs)\n",
+			res.Policy, res.Probability(), res.Failures, res.Trials,
+			time.Since(start).Seconds())
+		// Proximate causes: the fault class whose arrival broke the system.
+		type kv struct {
+			cause string
+			n     int
+		}
+		var causes []kv
+		for c, n := range res.CauseCounts {
+			causes = append(causes, kv{c, n})
+		}
+		sort.Slice(causes, func(i, j int) bool { return causes[i].n > causes[j].n })
+		for _, c := range causes {
+			fmt.Printf("    %-10s %d\n", c.cause, c.n)
+		}
+		fmt.Println()
+	}
+	fmt.Println("3DP's failures come from accumulated bank-scale permanent")
+	fmt.Println("faults; DDS (in Citadel) spares them at each scrub, which is")
+	fmt.Println("where the extra orders of magnitude come from.")
+}

@@ -1,0 +1,108 @@
+// Package analytic provides closed-form Poisson-process estimates of
+// system failure probability for the simpler protection schemes. These
+// serve as an independent check on the Monte Carlo engine: where a
+// scheme's failure condition reduces to "at least one event of a fatal
+// class" or "two events of colliding classes in the same stack", the
+// probabilities follow directly from the FIT rates, and the simulated
+// results must agree within sampling error.
+package analytic
+
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/stack"
+)
+
+// lambda converts a FIT rate (per die) into the expected event count over
+// the lifetime for the given number of dies.
+func lambda(fitPerDie float64, dies int, hours float64) float64 {
+	return fitPerDie * 1e-9 * hours * float64(dies)
+}
+
+// totalDies counts fault-bearing dies (data + metadata).
+func totalDies(cfg stack.Config) int { return cfg.Stacks * (cfg.DataDies + cfg.ECCDies) }
+
+// PFailNone is the failure probability with no protection: any fault at
+// all is fatal.
+func PFailNone(cfg stack.Config, r fault.Rates, hours float64) float64 {
+	lam := lambda(r.TotalPerDie()-r.TSVPerDie, totalDies(cfg), hours) +
+		lambda(r.TSVPerDie, cfg.Stacks*cfg.DataDies, hours)
+	return 1 - math.Exp(-lam)
+}
+
+// FatalSingleRate sums the FIT/die of the classes listed as fatal singles
+// (transient + permanent).
+type FatalSingleRate struct {
+	Word, Row, Bank, SubArray, Column bool
+	// ATSVFraction is the share of TSV events that are address-TSV faults
+	// when ATSV singles are fatal (0 otherwise).
+	ATSVFraction float64
+}
+
+// PFailSingles is the probability that at least one fatal-single event
+// occurs — the dominant term for schemes like the Same-Bank symbol code
+// (word/row/bank singles fatal) or Across-Banks (address-TSV singles
+// fatal).
+func PFailSingles(cfg stack.Config, r fault.Rates, hours float64, fatal FatalSingleRate) float64 {
+	var fit float64
+	if fatal.Word {
+		fit += r.WordTransient + r.WordPermanent
+	}
+	if fatal.Row {
+		fit += r.RowTransient + r.RowPermanent
+	}
+	if fatal.Bank {
+		fit += (r.BankTransient + r.BankPermanent) * (1 - r.SubArrayFraction)
+	}
+	if fatal.SubArray {
+		fit += (r.BankTransient + r.BankPermanent) * r.SubArrayFraction
+	}
+	if fatal.Column {
+		fit += r.ColumnTransient + r.ColumnPermanent
+	}
+	lam := lambda(fit, totalDies(cfg), hours)
+	if fatal.ATSVFraction > 0 {
+		lam += lambda(r.TSVPerDie*fatal.ATSVFraction, cfg.Stacks*cfg.DataDies, hours)
+	}
+	return 1 - math.Exp(-lam)
+}
+
+// ATSVShare returns the fraction of TSV fault events that hit address TSVs
+// under the sampler's population split.
+func ATSVShare(cfg stack.Config) float64 {
+	return float64(cfg.AddrTSVs) / float64(cfg.DataTSVs+cfg.AddrTSVs)
+}
+
+// PFailPermanentPairSameStack approximates the probability that two or
+// more *permanent* events from a colliding class (total FIT/die fitClass)
+// accumulate in the same stack over the lifetime — the dominant failure
+// mode of 3DP without DDS, whose Achilles pairs are bank-scale faults
+// anywhere in a stack.
+//
+// With per-stack arrival rate lam, P(>=2 in one stack) = 1 - e^-lam(1+lam),
+// combined over independent stacks.
+func PFailPermanentPairSameStack(cfg stack.Config, fitClass float64, hours float64) float64 {
+	diesPerStack := cfg.DataDies + cfg.ECCDies
+	lam := lambda(fitClass, diesPerStack, hours)
+	pStack := 1 - math.Exp(-lam)*(1+lam)
+	pAll := 1.0
+	for i := 0; i < cfg.Stacks; i++ {
+		pAll *= 1 - pStack
+	}
+	return 1 - pAll
+}
+
+// ThreeDPCollidingFIT returns the per-die FIT of the classes whose pairs
+// defeat 3DP: faults that self-conflict in Dimensions 2 and 3 (bank,
+// sub-array, column) so that any same-stack pair blocks Dimension 1.
+// Only permanent faults accumulate across scrub intervals.
+func ThreeDPCollidingFIT(r fault.Rates) float64 {
+	return r.BankPermanent + r.ColumnPermanent
+}
+
+// PFail3DPNoDDS approximates 3DP-without-sparing: permanent bank-scale
+// pairs in the same stack.
+func PFail3DPNoDDS(cfg stack.Config, r fault.Rates, hours float64) float64 {
+	return PFailPermanentPairSameStack(cfg, ThreeDPCollidingFIT(r), hours)
+}

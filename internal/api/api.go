@@ -1,0 +1,235 @@
+// Package api exposes the simulators over HTTP/JSON so experiment runners
+// (notebooks, sweep scripts, dashboards) can drive them remotely. The
+// handler is stdlib-only and stateless; cmd/citadel-server mounts it.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	citadel "repro"
+)
+
+// Handler returns the API's http.Handler. Routes:
+//
+//	GET  /api/v1/schemes      list protection schemes
+//	GET  /api/v1/benchmarks   list workload profiles
+//	GET  /api/v1/overhead     Citadel storage-overhead accounting
+//	POST /api/v1/reliability  run a Monte Carlo study
+//	POST /api/v1/performance  run the timing/power model
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/schemes", handleSchemes)
+	mux.HandleFunc("GET /api/v1/benchmarks", handleBenchmarks)
+	mux.HandleFunc("GET /api/v1/overhead", handleOverhead)
+	mux.HandleFunc("POST /api/v1/reliability", handleReliability)
+	mux.HandleFunc("POST /api/v1/performance", handlePerformance)
+	return mux
+}
+
+// writeJSON sends v with the proper content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0)
+	for _, s := range citadel.Schemes() {
+		names = append(names, s.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schemes": names})
+}
+
+func handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	type bench struct {
+		Name  string  `json:"name"`
+		Suite string  `json:"suite"`
+		MPKI  float64 `json:"mpki"`
+		WBPKI float64 `json:"wbpki"`
+	}
+	out := make([]bench, 0)
+	for _, b := range citadel.Benchmarks() {
+		out = append(out, bench{Name: b.Name, Suite: b.Suite.String(), MPKI: b.MPKI, WBPKI: b.WBPKI})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
+}
+
+func handleOverhead(w http.ResponseWriter, _ *http.Request) {
+	ov := citadel.ComputeStorageOverhead(citadel.DefaultConfig())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metadataFraction":   ov.MetadataFraction,
+		"parityBankFraction": ov.ParityBankFraction,
+		"totalFraction":      ov.Total(),
+		"sramBytes":          ov.SRAMBytes,
+	})
+}
+
+// ReliabilityRequest is the POST /reliability body.
+type ReliabilityRequest struct {
+	Scheme         string  `json:"scheme"`
+	Trials         int     `json:"trials"`
+	TSVFIT         float64 `json:"tsvFit"`
+	TSVSwap        bool    `json:"tsvSwap"`
+	LifetimeYears  float64 `json:"lifetimeYears"`
+	ScrubHours     float64 `json:"scrubHours"`
+	Seed           int64   `json:"seed"`
+	TargetFailures int     `json:"targetFailures"` // >0 enables adaptive mode
+	MaxTrials      int     `json:"maxTrials"`
+}
+
+// ReliabilityResponse mirrors citadel.Result.
+type ReliabilityResponse struct {
+	Policy      string         `json:"policy"`
+	Trials      int            `json:"trials"`
+	Failures    int            `json:"failures"`
+	Probability float64        `json:"probability"`
+	CI95        float64        `json:"ci95"`
+	ByYear      []float64      `json:"probabilityByYear"`
+	Causes      map[string]int `json:"causes,omitempty"`
+}
+
+// maxTrialsPerCall bounds request cost.
+const maxTrialsPerCall = 5_000_000
+
+func handleReliability(w http.ResponseWriter, r *http.Request) {
+	var req ReliabilityRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var scheme citadel.Scheme
+	found := false
+	for _, s := range citadel.Schemes() {
+		if s.String() == req.Scheme {
+			scheme, found = s, true
+			break
+		}
+	}
+	if !found {
+		writeError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
+		return
+	}
+	if req.Trials <= 0 {
+		req.Trials = 10000
+	}
+	if req.Trials > maxTrialsPerCall || req.MaxTrials > maxTrialsPerCall {
+		writeError(w, http.StatusBadRequest, "trials capped at %d per call", maxTrialsPerCall)
+		return
+	}
+	opts := citadel.ReliabilityOptions{
+		Rates:              citadel.Table1Rates().WithTSV(req.TSVFIT),
+		Trials:             req.Trials,
+		LifetimeYears:      req.LifetimeYears,
+		ScrubIntervalHours: req.ScrubHours,
+		TSVSwap:            req.TSVSwap,
+		Seed:               req.Seed,
+	}
+	var res citadel.Result
+	if req.TargetFailures > 0 {
+		res = citadel.SimulateReliabilityAdaptive(opts, scheme, req.TargetFailures, req.MaxTrials)
+	} else {
+		res = citadel.SimulateReliability(opts, scheme)
+	}
+	byYear := make([]float64, len(res.FailuresByYear))
+	for y := range byYear {
+		byYear[y] = res.ProbabilityByYear(y + 1)
+	}
+	writeJSON(w, http.StatusOK, ReliabilityResponse{
+		Policy:      res.Policy,
+		Trials:      res.Trials,
+		Failures:    res.Failures,
+		Probability: res.Probability(),
+		CI95:        res.CI95(),
+		ByYear:      byYear,
+		Causes:      res.CauseCounts,
+	})
+}
+
+// PerformanceRequest is the POST /performance body.
+type PerformanceRequest struct {
+	Benchmark  string `json:"benchmark"`
+	Striping   string `json:"striping"`   // same-bank | across-banks | across-channels
+	Protection string `json:"protection"` // none | 3dp | 3dp-no-cache
+	Requests   int    `json:"requests"`
+	Seed       int64  `json:"seed"`
+}
+
+// PerformanceResponse mirrors citadel.PerfResult plus the baseline ratio.
+type PerformanceResponse struct {
+	Benchmark        string  `json:"benchmark"`
+	Cycles           uint64  `json:"cycles"`
+	NormalizedTime   float64 `json:"normalizedTime"`
+	ActivePowerWatts float64 `json:"activePowerWatts"`
+	NormalizedPower  float64 `json:"normalizedPower"`
+	RowHitRate       float64 `json:"rowHitRate"`
+	AvgReadLatency   float64 `json:"avgReadLatencyCycles"`
+}
+
+func handlePerformance(w http.ResponseWriter, r *http.Request) {
+	var req PerformanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	b, ok := citadel.BenchmarkByName(req.Benchmark)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
+		return
+	}
+	var striping citadel.Striping
+	switch req.Striping {
+	case "", "same-bank":
+		striping = citadel.SameBank
+	case "across-banks":
+		striping = citadel.AcrossBanks
+	case "across-channels":
+		striping = citadel.AcrossChannels
+	default:
+		writeError(w, http.StatusBadRequest, "unknown striping %q", req.Striping)
+		return
+	}
+	var prot citadel.Protection
+	switch req.Protection {
+	case "", "none":
+		prot = citadel.NoProtection
+	case "3dp":
+		prot = citadel.Protection3DP
+	case "3dp-no-cache":
+		prot = citadel.Protection3DPNoCache
+	default:
+		writeError(w, http.StatusBadRequest, "unknown protection %q", req.Protection)
+		return
+	}
+	if req.Requests <= 0 {
+		req.Requests = 50000
+	}
+	if req.Requests > 2_000_000 {
+		writeError(w, http.StatusBadRequest, "requests capped at 2000000 per call")
+		return
+	}
+	base := citadel.SimulatePerformance(b, citadel.PerfOptions{Requests: req.Requests, Seed: req.Seed})
+	res := citadel.SimulatePerformance(b, citadel.PerfOptions{
+		Striping: striping, Protection: prot, Requests: req.Requests, Seed: req.Seed,
+	})
+	writeJSON(w, http.StatusOK, PerformanceResponse{
+		Benchmark:        res.Benchmark,
+		Cycles:           res.Cycles,
+		NormalizedTime:   float64(res.Cycles) / float64(base.Cycles),
+		ActivePowerWatts: res.ActivePowerWatts,
+		NormalizedPower:  res.ActivePowerWatts / base.ActivePowerWatts,
+		RowHitRate:       res.RowHitRate,
+		AvgReadLatency:   res.AvgReadLatencyCycles,
+	})
+}

@@ -1,0 +1,197 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestSchemesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Schemes []string `json:"schemes"`
+	}
+	resp := getJSON(t, srv.URL+"/api/v1/schemes", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Schemes) != 12 {
+		t.Errorf("schemes = %d, want 12", len(out.Schemes))
+	}
+	found := false
+	for _, s := range out.Schemes {
+		if s == "Citadel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Citadel missing from scheme list")
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Benchmarks []struct {
+			Name string `json:"name"`
+		} `json:"benchmarks"`
+	}
+	getJSON(t, srv.URL+"/api/v1/benchmarks", &out)
+	if len(out.Benchmarks) != 38 {
+		t.Errorf("benchmarks = %d, want 38", len(out.Benchmarks))
+	}
+}
+
+func TestOverheadEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out map[string]float64
+	getJSON(t, srv.URL+"/api/v1/overhead", &out)
+	if total := out["totalFraction"]; total < 0.13 || total > 0.15 {
+		t.Errorf("total overhead = %v", total)
+	}
+}
+
+func TestReliabilityEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out ReliabilityResponse
+	resp := postJSON(t, srv.URL+"/api/v1/reliability", ReliabilityRequest{
+		Scheme: "None", Trials: 3000, Seed: 1,
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Trials != 3000 || out.Policy != "None" {
+		t.Errorf("response %+v", out)
+	}
+	if out.Probability <= 0 {
+		t.Error("unprotected baseline showed no failures")
+	}
+	if len(out.ByYear) != 7 {
+		t.Errorf("byYear len %d", len(out.ByYear))
+	}
+}
+
+func TestReliabilityAdaptiveEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out ReliabilityResponse
+	postJSON(t, srv.URL+"/api/v1/reliability", ReliabilityRequest{
+		Scheme: "1DP", Trials: 2000, TargetFailures: 3, MaxTrials: 100000, Seed: 2,
+	}, &out)
+	if out.Failures < 3 && out.Trials < 100000 {
+		t.Errorf("adaptive run stopped early: %+v", out)
+	}
+}
+
+func TestReliabilityValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []ReliabilityRequest{
+		{Scheme: "NoSuchScheme"},
+		{Scheme: "3DP", Trials: 100_000_000},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, srv.URL+"/api/v1/reliability", c, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %+v: status %d, want 400", c, resp.StatusCode)
+		}
+	}
+	// Malformed JSON body.
+	resp, err := http.Post(srv.URL+"/api/v1/reliability", "application/json",
+		strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+}
+
+func TestPerformanceEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out PerformanceResponse
+	resp := postJSON(t, srv.URL+"/api/v1/performance", PerformanceRequest{
+		Benchmark: "mcf", Striping: "across-channels", Requests: 10000, Seed: 1,
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.NormalizedTime <= 1 {
+		t.Errorf("across-channels normalized time %v, want > 1", out.NormalizedTime)
+	}
+	if out.Cycles == 0 || out.ActivePowerWatts <= 0 {
+		t.Errorf("degenerate response %+v", out)
+	}
+}
+
+func TestPerformanceValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []PerformanceRequest{
+		{Benchmark: "nope"},
+		{Benchmark: "mcf", Striping: "diagonal"},
+		{Benchmark: "mcf", Protection: "raid0"},
+		{Benchmark: "mcf", Requests: 100_000_000},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, srv.URL+"/api/v1/performance", c, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %+v: status %d, want 400", c, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownRouteAndMethod(t *testing.T) {
+	srv := testServer(t)
+	resp := getJSON(t, srv.URL+"/api/v1/nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route: %d", resp.StatusCode)
+	}
+	// GET on a POST-only route.
+	resp2 := getJSON(t, srv.URL+"/api/v1/reliability", nil)
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("method mismatch: %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,268 @@
+// Package bch implements binary BCH codes: systematic encoding from the
+// generator polynomial (the LCM of minimal polynomials of alpha..alpha^2t)
+// and syndrome decoding via Berlekamp–Massey plus Chien search. It backs
+// the 6EC7ED baseline of the paper's §VIII-F with a real codec, the same
+// way internal/reedsolomon backs the symbol-code baseline.
+package bch
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/gf2m"
+)
+
+// ErrTooManyErrors reports an error pattern beyond the code's capability.
+var ErrTooManyErrors = errors.New("bch: too many errors to correct")
+
+// Code is a binary BCH code of length n = 2^m - 1 correcting t errors.
+type Code struct {
+	field *gf2m.Field
+	n     int     // code length in bits
+	k     int     // data bits
+	t     int     // correctable errors
+	gen   uint64x // generator polynomial over GF(2)
+}
+
+// uint64x is a little GF(2) polynomial, bit i = coefficient of x^i,
+// backed by a word slice so degrees above 63 work.
+type uint64x []uint64
+
+func (p uint64x) bit(i int) uint64 { return p[i/64] >> (uint(i) % 64) & 1 }
+
+func (p uint64x) setBit(i int) { p[i/64] |= 1 << (uint(i) % 64) }
+
+func (p uint64x) degree() int {
+	for w := len(p) - 1; w >= 0; w-- {
+		if p[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(p[w])
+		}
+	}
+	return -1
+}
+
+func newPoly(degCap int) uint64x { return make(uint64x, degCap/64+1) }
+
+// xorShifted xors q<<s into p.
+func (p uint64x) xorShifted(q uint64x, s int) {
+	for i := 0; i <= q.degree(); i++ {
+		if q.bit(i) == 1 {
+			p[(i+s)/64] ^= 1 << (uint(i+s) % 64)
+		}
+	}
+}
+
+// mulGF2 multiplies two GF(2) polynomials.
+func mulGF2(a, b uint64x) uint64x {
+	out := newPoly(a.degree() + b.degree() + 1)
+	for i := 0; i <= a.degree(); i++ {
+		if a.bit(i) == 1 {
+			out.xorShifted(b, i)
+		}
+	}
+	return out
+}
+
+// New constructs a BCH code over GF(2^m) correcting t errors. The code
+// length is n = 2^m - 1; k = n - deg(generator).
+func New(m, t int) (*Code, error) {
+	field, err := gf2m.New(m)
+	if err != nil {
+		return nil, err
+	}
+	n := field.Order()
+	if t < 1 || 2*t >= n {
+		return nil, fmt.Errorf("bch: t=%d out of range for n=%d", t, n)
+	}
+	// Generator = LCM of minimal polynomials of alpha^1 .. alpha^(2t).
+	gen := newPoly(1)
+	gen[0] = 1
+	included := map[uint64]bool{}
+	for i := 1; i <= 2*t; i++ {
+		mp := field.MinimalPolynomial(i)
+		if included[mp] {
+			continue
+		}
+		included[mp] = true
+		mpPoly := newPoly(63)
+		mpPoly[0] = mp
+		gen = mulGF2(gen, mpPoly)
+	}
+	k := n - gen.degree()
+	if k <= 0 {
+		return nil, fmt.Errorf("bch: no data bits left (m=%d t=%d)", m, t)
+	}
+	return &Code{field: field, n: n, k: k, t: t, gen: gen}, nil
+}
+
+// N returns the code length in bits.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data bits.
+func (c *Code) K() int { return c.k }
+
+// T returns the number of correctable bit errors.
+func (c *Code) T() int { return c.t }
+
+// ParityBits returns n-k.
+func (c *Code) ParityBits() int { return c.n - c.k }
+
+// Encode appends parity to data (length k bits, one bit per bool) and
+// returns the n-bit systematic codeword.
+func (c *Code) Encode(data []bool) ([]bool, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("bch: data length %d bits, want %d", len(data), c.k)
+	}
+	// Message polynomial m(x)*x^(n-k) mod gen(x) gives parity.
+	np := c.n - c.k
+	rem := newPoly(c.n)
+	for i, b := range data {
+		if b {
+			rem.setBit(np + (c.k - 1 - i)) // data[0] at highest degree
+		}
+	}
+	// Reduce modulo gen.
+	dg := c.gen.degree()
+	for d := rem.degree(); d >= dg; d = rem.degree() {
+		rem.xorShifted(c.gen, d-dg)
+	}
+	cw := make([]bool, c.n)
+	copy(cw, data)
+	for i := 0; i < np; i++ {
+		cw[c.k+i] = rem.bit(np-1-i) == 1
+	}
+	return cw, nil
+}
+
+// syndromes evaluates the received polynomial at alpha^1..alpha^2t.
+func (c *Code) syndromes(cw []bool) []uint32 {
+	synd := make([]uint32, 2*c.t)
+	for j := 1; j <= 2*c.t; j++ {
+		var s uint32
+		for i, b := range cw {
+			if b {
+				// Coefficient of x^(n-1-i).
+				s ^= c.field.Exp((c.n - 1 - i) * j)
+			}
+		}
+		synd[j-1] = s
+	}
+	return synd
+}
+
+// IsValid reports whether cw is a valid codeword.
+func (c *Code) IsValid(cw []bool) bool {
+	if len(cw) != c.n {
+		return false
+	}
+	for _, s := range c.syndromes(cw) {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode corrects up to t bit errors in place and returns the data bits
+// and the corrected positions.
+func (c *Code) Decode(cw []bool) (data []bool, corrected []int, err error) {
+	if len(cw) != c.n {
+		return nil, nil, fmt.Errorf("bch: codeword length %d, want %d", len(cw), c.n)
+	}
+	synd := c.syndromes(cw)
+	allZero := true
+	for _, s := range synd {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		out := make([]bool, c.k)
+		copy(out, cw[:c.k])
+		return out, nil, nil
+	}
+	// Berlekamp–Massey over GF(2^m).
+	lambda := []uint32{1}
+	prev := []uint32{1}
+	var L int
+	m := 1
+	b := uint32(1)
+	f := c.field
+	for nIdx := 0; nIdx < 2*c.t; nIdx++ {
+		d := synd[nIdx]
+		for i := 1; i <= L && i < len(lambda); i++ {
+			if nIdx-i >= 0 {
+				d ^= f.Mul(lambda[i], synd[nIdx-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*L <= nIdx {
+			tmp := append([]uint32(nil), lambda...)
+			scale := f.Div(d, b)
+			lambda = xorScaledShift(f, lambda, prev, scale, m)
+			L = nIdx + 1 - L
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			lambda = xorScaledShift(f, lambda, prev, f.Div(d, b), m)
+			m++
+		}
+	}
+	if L > c.t {
+		return nil, nil, ErrTooManyErrors
+	}
+	// Chien search: roots alpha^{-p} mark error positions p (power of the
+	// corrupted coefficient).
+	positions := []int{}
+	for p := 0; p < c.n; p++ {
+		xinv := f.Exp(c.n - p) // alpha^{-p}
+		var v uint32
+		for i := len(lambda) - 1; i >= 0; i-- {
+			v = f.Mul(v, xinv) ^ lambda[i]
+		}
+		if v == 0 {
+			positions = append(positions, p)
+		}
+	}
+	if len(positions) != L {
+		return nil, nil, ErrTooManyErrors
+	}
+	fixed := append([]bool(nil), cw...)
+	corrected = make([]int, 0, len(positions))
+	for _, p := range positions {
+		idx := c.n - 1 - p
+		fixed[idx] = !fixed[idx]
+		corrected = append(corrected, idx)
+	}
+	if !c.IsValid(fixed) {
+		return nil, nil, ErrTooManyErrors
+	}
+	copy(cw, fixed)
+	out := make([]bool, c.k)
+	copy(out, fixed[:c.k])
+	return out, corrected, nil
+}
+
+// xorScaledShift returns lambda + scale * x^shift * prev.
+func xorScaledShift(f *gf2m.Field, lambda, prev []uint32, scale uint32, shift int) []uint32 {
+	need := len(prev) + shift
+	out := make([]uint32, max(len(lambda), need))
+	copy(out, lambda)
+	for i, c := range prev {
+		out[i+shift] ^= f.Mul(c, scale)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

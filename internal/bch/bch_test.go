@@ -1,0 +1,209 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// code6EC is the paper's 6-error-correcting code sized for a 512-bit line:
+// BCH over GF(2^10), n=1023, t=6 (k = 1023-60 = 963 >= 512).
+func code6EC(t testing.TB) *Code {
+	t.Helper()
+	c, err := New(10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCodeShape(t *testing.T) {
+	c := code6EC(t)
+	if c.N() != 1023 {
+		t.Errorf("n = %d, want 1023", c.N())
+	}
+	if c.T() != 6 {
+		t.Errorf("t = %d, want 6", c.T())
+	}
+	// Each of the 6 even-indexed minimal polynomials has degree 10:
+	// parity = 60 bits, k = 963.
+	if c.ParityBits() != 60 {
+		t.Errorf("parity bits = %d, want 60", c.ParityBits())
+	}
+	if c.K() != 963 {
+		t.Errorf("k = %d, want 963", c.K())
+	}
+	if c.K() < 512 {
+		t.Error("code cannot hold a 512-bit cache line")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2); err == nil {
+		t.Error("accepted m=1")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("accepted t=0")
+	}
+	if _, err := New(4, 8); err == nil {
+		t.Error("accepted 2t >= n")
+	}
+}
+
+func randData(rng *rand.Rand, k int) []bool {
+	d := make([]bool, k)
+	for i := range d {
+		d[i] = rng.Intn(2) == 1
+	}
+	return d
+}
+
+func eq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeProducesValidCodeword(t *testing.T) {
+	c := code6EC(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		data := randData(rng, c.K())
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsValid(cw) {
+			t.Fatal("fresh codeword invalid")
+		}
+		if !eq(cw[:c.K()], data) {
+			t.Fatal("code not systematic")
+		}
+	}
+	if _, err := c.Encode(make([]bool, 10)); err == nil {
+		t.Error("accepted short data")
+	}
+}
+
+func TestCorrectsUpToSixErrors(t *testing.T) {
+	c := code6EC(t)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		data := randData(rng, c.K())
+		orig, _ := c.Encode(data)
+		nerr := 1 + rng.Intn(6)
+		cw := append([]bool(nil), orig...)
+		for _, p := range rng.Perm(c.N())[:nerr] {
+			cw[p] = !cw[p]
+		}
+		got, corrected, err := c.Decode(cw)
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if !eq(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+		if len(corrected) != nerr {
+			t.Fatalf("trial %d: corrected %d positions, want %d", trial, len(corrected), nerr)
+		}
+	}
+}
+
+func TestSevenErrorsDetected(t *testing.T) {
+	// 6EC7ED: seven errors must not be silently mis-corrected back to the
+	// original; overwhelmingly they are flagged uncorrectable.
+	c := code6EC(t)
+	rng := rand.New(rand.NewSource(3))
+	flagged := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		data := randData(rng, c.K())
+		orig, _ := c.Encode(data)
+		cw := append([]bool(nil), orig...)
+		for _, p := range rng.Perm(c.N())[:7] {
+			cw[p] = !cw[p]
+		}
+		got, _, err := c.Decode(cw)
+		if err == nil && eq(got, data) {
+			t.Fatalf("trial %d: 7 errors silently corrected to original", trial)
+		}
+		if err != nil {
+			flagged++
+		}
+	}
+	if flagged < trials/2 {
+		t.Errorf("only %d/%d 7-error patterns flagged", flagged, trials)
+	}
+}
+
+func TestCleanDecode(t *testing.T) {
+	c := code6EC(t)
+	data := make([]bool, c.K())
+	data[0], data[100], data[500] = true, true, true
+	cw, _ := c.Encode(data)
+	got, corrected, err := c.Decode(cw)
+	if err != nil || len(corrected) != 0 || !eq(got, data) {
+		t.Errorf("clean decode failed: %v %v", corrected, err)
+	}
+	if _, _, err := c.Decode(make([]bool, 5)); err == nil {
+		t.Error("accepted short codeword")
+	}
+}
+
+func TestSmallCodeExhaustive(t *testing.T) {
+	// BCH(15,7,t=2): every 1- and 2-bit error pattern is correctable.
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 15 || c.K() != 7 {
+		t.Fatalf("BCH(15,%d) with t=2, want k=7", c.K())
+	}
+	data := []bool{true, false, true, true, false, false, true}
+	orig, _ := c.Encode(data)
+	for i := 0; i < 15; i++ {
+		for j := i; j < 15; j++ {
+			cw := append([]bool(nil), orig...)
+			cw[i] = !cw[i]
+			if j != i {
+				cw[j] = !cw[j]
+			}
+			got, _, err := c.Decode(cw)
+			if err != nil {
+				t.Fatalf("errors at %d,%d: %v", i, j, err)
+			}
+			if !eq(got, data) {
+				t.Fatalf("errors at %d,%d: wrong data", i, j)
+			}
+		}
+	}
+}
+
+// TestCapabilityMatchesPredicateModel ties the codec to the Monte Carlo
+// model: the BCH6EC7ED predicate assumes a 6-bit budget per line.
+func TestCapabilityMatchesPredicateModel(t *testing.T) {
+	c := code6EC(t)
+	if c.T() != 6 {
+		t.Errorf("codec corrects %d bits; the ecc.BCH6EC7ED model assumes 6", c.T())
+	}
+}
+
+func BenchmarkDecodeTwoErrors(b *testing.B) {
+	c := code6EC(b)
+	data := make([]bool, c.K())
+	orig, _ := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := append([]bool(nil), orig...)
+		cw[17] = !cw[17]
+		cw[900] = !cw[900]
+		if _, _, err := c.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package cache implements a set-associative, write-back LRU cache used to
+// model the shared last-level cache (LLC) of the baseline system (Table II)
+// and Citadel's on-demand parity caching for Dimension-1 parity lines
+// (paper §VI-C, Figures 12 and 13).
+package cache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineBytes int
+
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	hits, misses, evictions, writebacks uint64
+}
+
+// New builds a cache of totalBytes capacity with the given associativity
+// and line size. totalBytes must divide evenly into sets of ways lines.
+func New(totalBytes, ways, lineBytes int) (*Cache, error) {
+	if totalBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, errors.New("cache: sizes must be positive")
+	}
+	lines := totalBytes / lineBytes
+	if lines*lineBytes != totalBytes {
+		return nil, fmt.Errorf("cache: %d bytes not a multiple of line size %d", totalBytes, lineBytes)
+	}
+	sets := lines / ways
+	if sets*ways != lines {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, ways)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	c := &Cache{sets: sets, ways: ways, lineBytes: lineBytes}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.dirty[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// index splits an address into set index and tag.
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr / uint64(c.lineBytes)
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Writeback is set when the access evicted a dirty victim; its address
+	// is the victim's line-aligned address.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a read (write=false) or write (write=true) of addr,
+// allocating on miss and evicting LRU victims.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.hits++
+			c.lru[set][w] = c.clock
+			if write {
+				c.dirty[set][w] = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < oldest {
+			oldest = c.lru[set][w]
+			victim = w
+		}
+	}
+	res := Result{}
+	if c.valid[set][victim] {
+		c.evictions++
+		if c.dirty[set][victim] {
+			c.writebacks++
+			res.Writeback = true
+			res.WritebackAddr = (c.tags[set][victim]*uint64(c.sets) + uint64(set)) * uint64(c.lineBytes)
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.dirty[set][victim] = write
+	c.lru[set][victim] = c.clock
+	return res
+}
+
+// Probe reports whether addr is resident without updating LRU state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative counters.
+func (c *Cache) Stats() (hits, misses, evictions, writebacks uint64) {
+	return c.hits, c.misses, c.evictions, c.writebacks
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		for w := 0; w < c.ways; w++ {
+			c.valid[i][w] = false
+			c.dirty[i][w] = false
+			c.lru[i][w] = 0
+		}
+	}
+	c.clock, c.hits, c.misses, c.evictions, c.writebacks = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, total, ways, line int) *Cache {
+	t.Helper()
+	c, err := New(total, ways, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8, 64); err == nil {
+		t.Error("accepted zero size")
+	}
+	if _, err := New(1000, 8, 64); err == nil {
+		t.Error("accepted non-multiple size")
+	}
+	if _, err := New(64*24, 8, 64); err == nil {
+		t.Error("accepted non-power-of-two sets")
+	}
+	if _, err := New(8<<20, 8, 64); err != nil {
+		t.Errorf("rejected the Table II LLC config: %v", err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	if r := c.Access(0, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(0, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache, 8 sets: addresses mapping to set 0 are multiples of
+	// 64*8=512.
+	c := mustNew(t, 1024, 2, 64)
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a evicted despite being MRU")
+	}
+	if c.Probe(b) {
+		t.Error("b not evicted despite being LRU")
+	}
+	if !c.Probe(d) {
+		t.Error("d not resident after insert")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	c.Access(0, true) // dirty
+	c.Access(512, false)
+	r := c.Access(1024, false) // evicts 0
+	if !r.Writeback {
+		t.Fatal("dirty eviction produced no writeback")
+	}
+	if r.WritebackAddr != 0 {
+		t.Errorf("writeback addr = %d, want 0", r.WritebackAddr)
+	}
+	// Clean eviction: no writeback.
+	c.Access(1536, false) // evicts 512 (clean)
+	_, _, ev, wb := c.Stats()
+	if ev != 2 || wb != 1 {
+		t.Errorf("evictions=%d writebacks=%d, want 2,1", ev, wb)
+	}
+}
+
+func TestProbeDoesNotDisturbLRU(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	c.Access(0, false)
+	c.Access(512, false)
+	c.Probe(0)            // must NOT refresh 0
+	c.Access(1024, false) // evicts 0 if probe did not refresh
+	if c.Probe(0) {
+		t.Error("probe refreshed LRU state")
+	}
+}
+
+func TestWorkingSetSmallerThanCacheAlwaysHits(t *testing.T) {
+	c := mustNew(t, 64*1024, 8, 64)
+	rng := rand.New(rand.NewSource(5))
+	// 512 distinct lines in a 1024-line cache.
+	addrs := make([]uint64, 512)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	before, _, _, _ := c.Stats()
+	_ = before
+	hitsBefore, missesBefore, _, _ := c.Stats()
+	for i := 0; i < 10000; i++ {
+		c.Access(addrs[rng.Intn(len(addrs))], false)
+	}
+	hits, misses, _, _ := c.Stats()
+	if misses != missesBefore {
+		t.Errorf("resident working set missed: %d new misses", misses-missesBefore)
+	}
+	if hits-hitsBefore != 10000 {
+		t.Errorf("hits = %d, want 10000", hits-hitsBefore)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	c.Access(0, true)
+	c.Reset()
+	if c.Probe(0) {
+		t.Error("contents survived reset")
+	}
+	h, m, e, w := c.Stats()
+	if h+m+e+w != 0 {
+		t.Error("counters survived reset")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := mustNew(t, 8<<20, 8, 64)
+	if c.Ways() != 8 || c.LineBytes() != 64 {
+		t.Error("accessors wrong")
+	}
+	if c.Sets() != (8<<20)/64/8 {
+		t.Errorf("Sets = %d", c.Sets())
+	}
+	if c.HitRate() != 0 {
+		t.Error("empty cache hit rate should be 0")
+	}
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/stack"
+)
+
+func newCtl(t *testing.T) *Controller {
+	t.Helper()
+	c, err := NewController(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fillRandom(t *testing.T, c *Controller, rng *rand.Rand, n int64) map[int64][]byte {
+	t.Helper()
+	want := make(map[int64][]byte)
+	for idx := int64(0); idx < n; idx++ {
+		data := make([]byte, c.Config().LineBytes)
+		rng.Read(data)
+		if err := c.Write(idx, data); err != nil {
+			t.Fatal(err)
+		}
+		want[idx] = data
+	}
+	return want
+}
+
+func rowFaultAt(cfg stack.Config, die, bank, row int) fault.Fault {
+	return fault.Fault{
+		Class:       fault.Row,
+		Persistence: fault.Permanent,
+		Region: fault.Region{
+			Stack: 0,
+			Die:   fault.ExactPattern(uint32(die)),
+			Bank:  fault.ExactPattern(uint32(bank)),
+			Row:   fault.ExactPattern(uint32(row)),
+			Col:   fault.AllPattern(),
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(1))
+	want := fillRandom(t, c, rng, 200)
+	for idx, w := range want {
+		got, err := c.Read(idx)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", idx, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("Read(%d) returned wrong data", idx)
+		}
+	}
+	if s := c.Stats(); s.CRCMismatches != 0 || s.Corrections != 0 {
+		t.Errorf("healthy reads triggered corrections: %+v", s)
+	}
+}
+
+func TestUnwrittenLineReadsZero(t *testing.T) {
+	c := newCtl(t)
+	got, err := c.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten line not zero")
+		}
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	c := newCtl(t)
+	if err := c.Write(-1, make([]byte, 64)); err == nil {
+		t.Error("accepted negative index")
+	}
+	if err := c.Write(c.Config().TotalLines(), make([]byte, 64)); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	if err := c.Write(0, make([]byte, 63)); err == nil {
+		t.Error("accepted short line")
+	}
+	if _, err := c.Read(-1); err == nil {
+		t.Error("read accepted negative index")
+	}
+}
+
+func TestBitFaultCorrectedAndSpared(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(2))
+	want := fillRandom(t, c, rng, 64)
+	// Inject a permanent word fault in a written line (a single stuck bit
+	// can coincide with the stored value; 64 stuck bits cannot).
+	co := c.Config().CoordOfLineIndex(10)
+	c.InjectFault(fault.Fault{
+		Class:       fault.Word,
+		Persistence: fault.Permanent,
+		Region: fault.Region{
+			Stack: co.Stack,
+			Die:   fault.ExactPattern(uint32(co.Die)),
+			Bank:  fault.ExactPattern(uint32(co.Bank)),
+			Row:   fault.ExactPattern(uint32(co.Row)),
+			Col:   fault.MaskPattern(^uint32(63), uint32(co.Line*512+64)),
+		},
+	})
+	got, err := c.Read(10)
+	if err != nil {
+		t.Fatalf("Read after bit fault: %v", err)
+	}
+	if !bytes.Equal(got, want[10]) {
+		t.Fatal("bit fault not corrected")
+	}
+	s := c.Stats()
+	if s.Corrections != 1 {
+		t.Errorf("corrections = %d, want 1", s.Corrections)
+	}
+	if s.RowsSpared != 1 {
+		t.Errorf("rows spared = %d, want 1", s.RowsSpared)
+	}
+	// Subsequent reads are served from the spare with no new correction.
+	if _, err := c.Read(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Corrections != 1 {
+		t.Errorf("spared line corrected again: %+v", c.Stats())
+	}
+}
+
+func TestRowFaultRecoversWholeRow(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(3))
+	cfg := c.Config()
+	want := fillRandom(t, c, rng, int64(2*cfg.LinesPerRow()*cfg.RowsPerBank))
+	co := cfg.CoordOfLineIndex(0)
+	c.InjectFault(rowFaultAt(cfg, co.Die, co.Bank, co.Row))
+	// Every line of the faulty row must come back intact.
+	for l := 0; l < cfg.LinesPerRow(); l++ {
+		idx := cfg.LineIndex(stack.Coord{Stack: co.Stack, Die: co.Die, Bank: co.Bank, Row: co.Row, Line: l})
+		got, err := c.Read(idx)
+		if err != nil {
+			t.Fatalf("line %d: %v", l, err)
+		}
+		if !bytes.Equal(got, want[idx]) {
+			t.Fatalf("line %d corrupted after row fault", l)
+		}
+	}
+	if c.Stats().RowsSpared == 0 {
+		t.Error("row fault did not trigger row sparing")
+	}
+}
+
+func TestBankFaultEscalatesToBankSparing(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(4))
+	cfg := c.Config()
+	want := fillRandom(t, c, rng, cfg.TotalLines()/4) // covers die 0 fully
+	c.InjectFault(fault.Fault{
+		Class:       fault.Bank,
+		Persistence: fault.Permanent,
+		Region: fault.Region{
+			Stack: 0,
+			Die:   fault.ExactPattern(0),
+			Bank:  fault.ExactPattern(1),
+			Row:   fault.AllPattern(),
+			Col:   fault.AllPattern(),
+		},
+	})
+	// Read lines from the faulty bank: the first few consume the row
+	// budget, then the bank is spared wholesale.
+	var checked int
+	for idx, w := range want {
+		co := cfg.CoordOfLineIndex(idx)
+		if co.Die != 0 || co.Bank != 1 {
+			continue
+		}
+		got, err := c.Read(idx)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", idx, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("line %d corrupted after bank fault", idx)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no lines exercised the faulty bank")
+	}
+	s := c.Stats()
+	if s.BanksSpared != 1 {
+		t.Errorf("banks spared = %d, want 1 (stats %+v)", s.BanksSpared, s)
+	}
+}
+
+func TestDataTSVFaultRepairedBySwap(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(5))
+	want := fillRandom(t, c, rng, 64)
+	c.InjectFault(fault.Fault{
+		Class:       fault.DataTSV,
+		Persistence: fault.Permanent,
+		TSV:         7,
+		Region: fault.Region{
+			Stack: 0,
+			Die:   fault.ExactPattern(0),
+			Bank:  fault.AllPattern(),
+			Row:   fault.AllPattern(),
+			Col:   fault.MaskPattern(uint32(c.Config().DataTSVs-1), 7),
+		},
+	})
+	// Reads in die 0 hit the TSV corruption; the controller must detect
+	// via CRC, run BIST, swap, and return clean data without 3DP.
+	var touched bool
+	for idx, w := range want {
+		if c.Config().CoordOfLineIndex(idx).Die != 0 {
+			continue
+		}
+		got, err := c.Read(idx)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", idx, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("line %d wrong after TSV swap", idx)
+		}
+		touched = true
+	}
+	if !touched {
+		t.Fatal("no lines in faulty channel")
+	}
+	s := c.Stats()
+	if s.TSVRepairs != 1 {
+		t.Errorf("TSV repairs = %d, want 1", s.TSVRepairs)
+	}
+	if s.Corrections != 0 {
+		t.Errorf("TSV fault needed 3DP correction (%+v)", s)
+	}
+}
+
+func TestAddrTSVFaultDetectedBySeededCRC(t *testing.T) {
+	// An address-TSV fault returns the WRONG row's (valid) data; only the
+	// address-seeded CRC catches it (paper §V-C.2).
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(6))
+	cfg := c.Config()
+	want := fillRandom(t, c, rng, cfg.TotalLines()/2)
+	c.InjectFault(fault.Fault{
+		Class:       fault.AddrTSV,
+		Persistence: fault.Permanent,
+		TSV:         2,
+		Region: fault.Region{
+			Stack: 0,
+			Die:   fault.ExactPattern(1),
+			Bank:  fault.AllPattern(),
+			Row:   fault.MaskPattern(1<<2, 1<<2),
+			Col:   fault.AllPattern(),
+		},
+	})
+	var touched bool
+	for idx, w := range want {
+		co := cfg.CoordOfLineIndex(idx)
+		if co.Die != 1 || co.Row&(1<<2) == 0 {
+			continue
+		}
+		got, err := c.Read(idx)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", idx, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("line %d wrong after addr-TSV repair", idx)
+		}
+		touched = true
+		break
+	}
+	if !touched {
+		t.Fatal("no lines in unreachable half")
+	}
+	if c.Stats().TSVRepairs == 0 {
+		t.Error("addr-TSV fault not repaired")
+	}
+}
+
+func TestTwoBankFaultsAreDataLoss(t *testing.T) {
+	// Two concurrent whole-bank faults collide in every parity dimension:
+	// the controller must report loss, not silently return garbage.
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(7))
+	cfg := c.Config()
+	fillRandom(t, c, rng, cfg.TotalLines())
+	mkBank := func(die, bank int) fault.Fault {
+		return fault.Fault{
+			Class:       fault.Bank,
+			Persistence: fault.Permanent,
+			Region: fault.Region{
+				Stack: 0,
+				Die:   fault.ExactPattern(uint32(die)),
+				Bank:  fault.ExactPattern(uint32(bank)),
+				Row:   fault.AllPattern(),
+				Col:   fault.AllPattern(),
+			},
+		}
+	}
+	// Exhaust the spare banks first so DDS cannot absorb them.
+	c.brt[bankID{0, 2, 2}] = 0
+	c.brt[bankID{0, 2, 3}] = 1
+	c.InjectFault(mkBank(0, 1))
+	c.InjectFault(mkBank(1, 2))
+	idx := cfg.LineIndex(stack.Coord{Stack: 0, Die: 0, Bank: 1, Row: 3, Line: 0})
+	_, err := c.Read(idx)
+	if !errors.Is(err, ErrDataLoss) {
+		t.Errorf("expected data loss, got %v", err)
+	}
+	if c.Stats().Uncorrectable == 0 {
+		t.Error("uncorrectable not counted")
+	}
+}
+
+func TestCorrectionDimensionAccounting(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(8))
+	fillRandom(t, c, rng, 256)
+	co := c.Config().CoordOfLineIndex(100)
+	c.InjectFault(rowFaultAt(c.Config(), co.Die, co.Bank, co.Row))
+	if _, err := c.Read(100); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	total := s.CorrectionsByDim[0] + s.CorrectionsByDim[1] + s.CorrectionsByDim[2]
+	if total != s.Corrections || total == 0 {
+		t.Errorf("dimension accounting inconsistent: %+v", s)
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.ECCDies = 0
+	if _, err := NewController(cfg); err == nil {
+		t.Error("accepted config without metadata die")
+	}
+	cfg = TinyConfig()
+	cfg.Stacks = 0
+	if _, err := NewController(cfg); err == nil {
+		t.Error("accepted invalid geometry")
+	}
+}
+
+func TestSimStackStuckBitsStable(t *testing.T) {
+	// Permanent faults must corrupt deterministically (stuck-at), so
+	// repeated reads see the same wrong value.
+	s := NewSimStack(TinyConfig())
+	co := stack.Coord{Stack: 0, Die: 0, Bank: 0, Row: 0, Line: 0}
+	if err := s.WriteRaw(co, bytes.Repeat([]byte{0xFF}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Inject(rowFaultAt(s.Config(), 0, 0, 0))
+	a, _ := s.ReadRaw(co)
+	b, _ := s.ReadRaw(co)
+	if !bytes.Equal(a, b) {
+		t.Error("permanent fault corruption not stable across reads")
+	}
+	if bytes.Equal(a, bytes.Repeat([]byte{0xFF}, 64)) {
+		t.Error("row fault did not corrupt the data")
+	}
+}
+
+func TestScrubClearsTransientFaults(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(9))
+	want := fillRandom(t, c, rng, 64)
+	co := c.Config().CoordOfLineIndex(5)
+	f := rowFaultAt(c.Config(), co.Die, co.Bank, co.Row)
+	f.Persistence = fault.Transient
+	c.InjectFault(f)
+	if lost := c.Scrub(); lost != 0 {
+		t.Fatalf("scrub lost %d lines", lost)
+	}
+	if n := len(c.Memory().Faults()); n != 0 {
+		t.Errorf("%d faults survive scrub, want 0", n)
+	}
+	// After the scrub the transient corruption is gone for good: fresh
+	// reads are clean with no further corrections.
+	before := c.Stats().Corrections
+	for idx, w := range want {
+		got, err := c.Read(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("line %d corrupted after scrub", idx)
+		}
+	}
+	if c.Stats().Corrections != before {
+		t.Error("post-scrub reads still needed correction")
+	}
+}
+
+func TestScrubKeepsPermanentFaults(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(10))
+	fillRandom(t, c, rng, 32)
+	co := c.Config().CoordOfLineIndex(3)
+	c.InjectFault(rowFaultAt(c.Config(), co.Die, co.Bank, co.Row))
+	if lost := c.Scrub(); lost != 0 {
+		t.Fatalf("scrub lost %d lines", lost)
+	}
+	if n := len(c.Memory().Faults()); n != 1 {
+		t.Errorf("permanent fault count = %d, want 1", n)
+	}
+	// The scrub's reads spared the faulty row.
+	if c.Stats().RowsSpared == 0 {
+		t.Error("scrub did not trigger sparing of the permanent fault")
+	}
+}
+
+func TestMetadataPackRoundTrip(t *testing.T) {
+	cases := []Metadata{
+		{},
+		{CRC32: 0xDEADBEEF, SwapBits: 0xA5, Spare: 0xFFFFFF},
+		{CRC32: 0xFFFFFFFF, SwapBits: 0xFF, Spare: 0x123456},
+	}
+	for _, m := range cases {
+		if got := UnpackMetadata(m.Pack()); got != m {
+			t.Errorf("round trip %v -> %v", m, got)
+		}
+	}
+	// Spare overflow is truncated to 24 bits, never corrupting CRC/swap.
+	m := Metadata{CRC32: 1, SwapBits: 2, Spare: 0xFF000001}
+	got := UnpackMetadata(m.Pack())
+	if got.CRC32 != 1 || got.SwapBits != 2 || got.Spare != 0x000001 {
+		t.Errorf("overflow handling wrong: %v", got)
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestMetadataPackQuick(t *testing.T) {
+	f := func(crc uint32, swap uint8, spare uint32) bool {
+		m := Metadata{CRC32: crc, SwapBits: swap, Spare: spare & 0xFFFFFF}
+		return UnpackMetadata(m.Pack()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapDataReplicaMaintained(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(21))
+	fillRandom(t, c, rng, 128)
+	if !c.SwapDataConsistent() {
+		t.Error("swap-data replica inconsistent after writes")
+	}
+	// Overwrite some lines; the replica must track.
+	for idx := int64(0); idx < 16; idx++ {
+		data := make([]byte, c.Config().LineBytes)
+		rng.Read(data)
+		if err := c.Write(idx, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.SwapDataConsistent() {
+		t.Error("swap-data replica inconsistent after overwrites")
+	}
+}
+
+func TestSwapBitsExtraction(t *testing.T) {
+	c := newCtl(t)
+	line := make([]byte, c.Config().LineBytes)
+	// Set exactly the stand-by bits: TSVs 0,64,128,192 carry line bits
+	// {0,256},{64,320},{128,384},{192,448}.
+	for _, bit := range []int{0, 256, 64, 320, 128, 384, 192, 448} {
+		line[bit/8] |= 1 << (bit % 8)
+	}
+	if got := c.swapBits(line); got != 0xFF {
+		t.Errorf("swapBits = %#x, want 0xFF", got)
+	}
+	if got := c.swapBits(make([]byte, c.Config().LineBytes)); got != 0 {
+		t.Errorf("swapBits of zeros = %#x", got)
+	}
+}
+
+func TestParityConsistencyAfterRandomWrites(t *testing.T) {
+	c := newCtl(t)
+	rng := rand.New(rand.NewSource(33))
+	total := c.Config().TotalLines()
+	// Random writes, including overwrites.
+	for i := 0; i < 500; i++ {
+		idx := rng.Int63n(total)
+		data := make([]byte, c.Config().LineBytes)
+		rng.Read(data)
+		if err := c.Write(idx, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.ParityConsistent() {
+		t.Error("3DP parity inconsistent after random writes")
+	}
+}

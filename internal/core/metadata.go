@@ -1,0 +1,39 @@
+package core
+
+import "fmt"
+
+// The 64-bit metadata word Citadel stores per cache line in the ECC die
+// (paper Figure 6): 32 bits of CRC, 8 bits of TSV swap data, and 24 bits
+// provisioned for sparing hints. The word travels over the dedicated ECC
+// lanes alongside every 512-bit data transfer.
+
+// metadata word layout, low bits first.
+const (
+	metaCRCShift   = 0
+	metaCRCBits    = 32
+	metaSwapShift  = metaCRCShift + metaCRCBits
+	metaSwapBits   = 8
+	metaSpareShift = metaSwapShift + metaSwapBits
+	metaSpareBits  = 24
+)
+
+// Pack encodes the metadata into its 64-bit on-die representation.
+func (m Metadata) Pack() uint64 {
+	return uint64(m.CRC32)<<metaCRCShift |
+		uint64(m.SwapBits)<<metaSwapShift |
+		uint64(m.Spare&(1<<metaSpareBits-1))<<metaSpareShift
+}
+
+// UnpackMetadata decodes a 64-bit metadata word.
+func UnpackMetadata(w uint64) Metadata {
+	return Metadata{
+		CRC32:    uint32(w >> metaCRCShift),
+		SwapBits: uint8(w >> metaSwapShift),
+		Spare:    uint32(w>>metaSpareShift) & (1<<metaSpareBits - 1),
+	}
+}
+
+// String renders the metadata word for logs.
+func (m Metadata) String() string {
+	return fmt.Sprintf("meta{crc:%08x swap:%02x spare:%06x}", m.CRC32, m.SwapBits, m.Spare)
+}

@@ -1,0 +1,140 @@
+package crc
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(300)
+		p := make([]byte, n)
+		rng.Read(p)
+		want := crc32.ChecksumIEEE(p)
+		if got := Checksum(p); got != want {
+			t.Fatalf("Checksum(%d bytes) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestKnownVectors(t *testing.T) {
+	// The canonical CRC-32 check value.
+	if got := Checksum([]byte("123456789")); got != 0xCBF43926 {
+		t.Errorf("Checksum(123456789) = %#x, want 0xCBF43926", got)
+	}
+	if got := Checksum(nil); got != 0 {
+		t.Errorf("Checksum(nil) = %#x, want 0", got)
+	}
+	if got := Checksum([]byte{0}); got != 0xD202EF8D {
+		t.Errorf("Checksum([0]) = %#x, want 0xD202EF8D", got)
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	f := func(p []byte, seed uint32) bool {
+		bw := UpdateBitwise(seed, p)
+		tb := Update(seed, p)
+		s4 := UpdateSlicing4(seed, p)
+		return bw == tb && tb == s4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalUpdate(t *testing.T) {
+	p := []byte("the quick brown fox jumps over the lazy dog")
+	whole := Checksum(p)
+	for split := 0; split <= len(p); split++ {
+		part := Update(Update(0, p[:split]), p[split:])
+		if part != whole {
+			t.Fatalf("split at %d: %#x != %#x", split, part, whole)
+		}
+	}
+}
+
+func TestDetectsSingleBitFlips(t *testing.T) {
+	line := make([]byte, 64)
+	rand.New(rand.NewSource(7)).Read(line)
+	orig := ChecksumLine(0x1234, line)
+	for byteIdx := 0; byteIdx < len(line); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			line[byteIdx] ^= 1 << bit
+			if ChecksumLine(0x1234, line) == orig {
+				t.Fatalf("bit flip at byte %d bit %d undetected", byteIdx, bit)
+			}
+			line[byteIdx] ^= 1 << bit
+		}
+	}
+}
+
+func TestDetectsAddressFaults(t *testing.T) {
+	// An address-TSV fault returns valid data from the wrong address; the
+	// address-seeded checksum must catch it (paper §V-C.2).
+	line := make([]byte, 64)
+	stored := ChecksumLine(0x4000, line)
+	if Verify(0x4000, line, stored) != true {
+		t.Fatal("correct address failed verification")
+	}
+	if Verify(0x8000, line, stored) {
+		t.Error("wrong address passed verification")
+	}
+}
+
+func TestDetectsBurstErrors(t *testing.T) {
+	// CRC-32 detects all burst errors up to 32 bits.
+	rng := rand.New(rand.NewSource(3))
+	line := make([]byte, 64)
+	rng.Read(line)
+	orig := Checksum(line)
+	for trial := 0; trial < 2000; trial++ {
+		burstLen := 1 + rng.Intn(32)
+		start := rng.Intn(len(line)*8 - burstLen)
+		cp := make([]byte, len(line))
+		copy(cp, line)
+		// Flip first and last bit of the burst plus random interior bits so
+		// the burst is genuinely burstLen long.
+		flip := func(bit int) { cp[bit/8] ^= 1 << (bit % 8) }
+		flip(start)
+		if burstLen > 1 {
+			flip(start + burstLen - 1)
+			for b := start + 1; b < start+burstLen-1; b++ {
+				if rng.Intn(2) == 0 {
+					flip(b)
+				}
+			}
+		}
+		if Checksum(cp) == orig {
+			t.Fatalf("burst of %d bits at %d undetected", burstLen, start)
+		}
+	}
+}
+
+func TestMakeTableMatchesStdlib(t *testing.T) {
+	std := crc32.MakeTable(crc32.IEEE)
+	mine := MakeTable()
+	for i := range mine {
+		if mine[i] != std[i] {
+			t.Fatalf("table[%d] = %#x, want %#x", i, mine[i], std[i])
+		}
+	}
+}
+
+func BenchmarkChecksum64B(b *testing.B) {
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Checksum(line)
+	}
+}
+
+func BenchmarkChecksumBitwise64B(b *testing.B) {
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		UpdateBitwise(0, line)
+	}
+}

@@ -1,0 +1,42 @@
+package crc
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzChecksumMatchesStdlib cross-checks all three implementations against
+// the standard library on arbitrary inputs.
+func FuzzChecksumMatchesStdlib(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("123456789"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		want := crc32.ChecksumIEEE(p)
+		if got := Checksum(p); got != want {
+			t.Fatalf("Checksum = %#x, stdlib %#x", got, want)
+		}
+		if got := UpdateBitwise(0, p); got != want {
+			t.Fatalf("bitwise = %#x, stdlib %#x", got, want)
+		}
+		if got := Update(0, p); got != want {
+			t.Fatalf("table = %#x, stdlib %#x", got, want)
+		}
+	})
+}
+
+// FuzzIncremental checks that splitting the input anywhere gives the same
+// checksum.
+func FuzzIncremental(f *testing.F) {
+	f.Add([]byte("hello world"), 3)
+	f.Fuzz(func(t *testing.T, p []byte, split int) {
+		if split < 0 || split > len(p) {
+			return
+		}
+		whole := Checksum(p)
+		part := Update(Update(0, p[:split]), p[split:])
+		if whole != part {
+			t.Fatalf("split %d: %#x != %#x", split, part, whole)
+		}
+	})
+}

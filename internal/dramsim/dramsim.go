@@ -1,0 +1,327 @@
+// Package dramsim is a command-level DRAM channel model: an FR-FCFS
+// memory controller issuing ACT/RD/WR/PRE commands against per-bank state
+// machines that honor the full JEDEC-style timing set (tRCD, tRP, tRAS,
+// tRC, tCCD, tRRD, tFAW, tWTR, tWR). It is the detailed counterpart of the
+// queueing model in internal/perfsim: the coarse model runs the paper's
+// 38-workload sweeps quickly, while this one validates its latency
+// behaviour at command granularity (see the `cmdlevel` ablation).
+package dramsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Timing holds per-channel DRAM timing in memory-bus cycles.
+type Timing struct {
+	TRCD   int // ACT -> RD/WR
+	TRP    int // PRE -> ACT
+	TRAS   int // ACT -> PRE (min)
+	TRC    int // ACT -> ACT, same bank
+	TCCD   int // RD -> RD (column-to-column)
+	TRRD   int // ACT -> ACT, different banks
+	TFAW   int // four-activate window
+	TWTR   int // WR data end -> RD
+	TWR    int // WR data end -> PRE
+	TCAS   int // RD -> data start
+	TCWL   int // WR -> data start
+	TBURST int // data transfer duration
+	// TREFI is the refresh-command interval (0 disables refresh); TRFC is
+	// the all-bank refresh latency, during which the channel is blocked.
+	TREFI int
+	TRFC  int
+}
+
+// DefaultTiming extends the paper's Table II (7-9-9-9-36) with standard
+// DDR3-1600-class secondary constraints.
+func DefaultTiming() Timing {
+	return Timing{
+		TRCD: 9, TRP: 9, TRAS: 36, TRC: 45,
+		TCCD: 4, TRRD: 5, TFAW: 24,
+		TWTR: 7, TWR: 12,
+		TCAS: 9, TCWL: 7, TBURST: 4,
+		// HBM-style 32 ms retention over 8192 refresh commands at 800 MHz:
+		// one REF every ~3125 cycles, blocking the channel for tRFC.
+		TREFI: 3125, TRFC: 128,
+	}
+}
+
+// Request is one line access presented to the controller.
+type Request struct {
+	Bank   int
+	Row    int
+	Write  bool
+	Arrive int64 // cycle the request enters the queue
+
+	// Burst overrides the data-transfer duration in cycles (0 = the
+	// timing's full-line TBURST). Striped slices move a fraction of a line
+	// and occupy the bus proportionally less.
+	Burst int
+
+	// Done is filled by the simulation: the cycle the data transfer
+	// completes.
+	Done int64
+}
+
+// bank tracks one bank's state machine.
+type bank struct {
+	openRow     int   // -1 = precharged
+	actAt       int64 // last ACT issue time
+	readyAt     int64 // earliest next column command
+	preReadyAt  int64 // earliest PRE (tRAS / tWR constraints)
+	nextActAt   int64 // tRC constraint
+	writeEndsAt int64 // end of last write data (for tWTR)
+}
+
+// Channel simulates one DRAM channel.
+type Channel struct {
+	timing Timing
+	banks  []bank
+
+	busFreeAt  int64
+	lastActAny int64   // tRRD constraint
+	actWindow  []int64 // last 4 ACTs for tFAW
+
+	// Stats.
+	RowHits, RowMisses uint64
+	Activates          uint64
+}
+
+// NewChannel builds a channel with the given bank count.
+func NewChannel(banks int, t Timing) *Channel {
+	ch := &Channel{timing: t, banks: make([]bank, banks)}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	return ch
+}
+
+// max64 returns the max of its arguments.
+func max64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// issueACT opens a row, honoring tRP/tRC/tRRD/tFAW.
+func (ch *Channel) issueACT(b *bank, row int, at int64) int64 {
+	t := ch.timing
+	when := max64(at, b.nextActAt, ch.lastActAny+int64(t.TRRD))
+	if len(ch.actWindow) >= 4 {
+		fawEdge := ch.actWindow[len(ch.actWindow)-4] + int64(t.TFAW)
+		when = max64(when, fawEdge)
+	}
+	b.openRow = row
+	b.actAt = when
+	b.readyAt = when + int64(t.TRCD)
+	b.preReadyAt = when + int64(t.TRAS)
+	b.nextActAt = when + int64(t.TRC)
+	ch.lastActAny = when
+	ch.actWindow = append(ch.actWindow, when)
+	if len(ch.actWindow) > 4 {
+		ch.actWindow = ch.actWindow[len(ch.actWindow)-4:]
+	}
+	ch.Activates++
+	return when
+}
+
+// issuePRE closes the bank's row, honoring tRAS and tWR.
+func (ch *Channel) issuePRE(b *bank, at int64) int64 {
+	t := ch.timing
+	when := max64(at, b.preReadyAt, b.writeEndsAt+int64(t.TWR))
+	b.openRow = -1
+	b.nextActAt = max64(b.nextActAt, when+int64(t.TRP))
+	return when
+}
+
+// skipRefresh pushes a command time out of any all-bank refresh window.
+func (ch *Channel) skipRefresh(at int64) int64 {
+	t := ch.timing
+	if t.TREFI <= 0 || t.TRFC <= 0 {
+		return at
+	}
+	// Window k occupies [k*TREFI, k*TREFI + TRFC).
+	k := at / int64(t.TREFI)
+	if off := at - k*int64(t.TREFI); off < int64(t.TRFC) {
+		return k*int64(t.TREFI) + int64(t.TRFC)
+	}
+	return at
+}
+
+// serve executes one request against the channel state, returning the
+// data-completion cycle.
+func (ch *Channel) serve(r *Request) int64 {
+	t := ch.timing
+	b := &ch.banks[r.Bank]
+	now := ch.skipRefresh(r.Arrive)
+	if b.openRow != r.Row {
+		if b.openRow != -1 {
+			ch.RowMisses++
+			now = ch.issuePRE(b, now)
+		} else {
+			ch.RowMisses++
+		}
+		ch.issueACT(b, r.Row, now)
+	} else {
+		ch.RowHits++
+	}
+	// Column command: respect bank readiness, bus availability (tCCD
+	// approximated by bus busy time), and write-to-read turnaround.
+	col := max64(now, b.readyAt, ch.busFreeAt-int64(t.TBURST)+int64(t.TCCD))
+	if !r.Write {
+		// tWTR: a read after a write must wait for the write data to end.
+		col = max64(col, b.writeEndsAt+int64(t.TWTR))
+	}
+	var dataStart int64
+	if r.Write {
+		dataStart = col + int64(t.TCWL)
+	} else {
+		dataStart = col + int64(t.TCAS)
+	}
+	dataStart = max64(dataStart, ch.busFreeAt)
+	burst := int64(t.TBURST)
+	if r.Burst > 0 {
+		burst = int64(r.Burst)
+	}
+	done := dataStart + burst
+	ch.busFreeAt = done
+	if r.Write {
+		b.writeEndsAt = done
+	}
+	// Column access restarts the tRAS clock conservatively? No: tRAS runs
+	// from ACT; reads extend precharge readiness only past their burst.
+	if done > b.preReadyAt {
+		b.preReadyAt = done
+	}
+	r.Done = done
+	return done
+}
+
+// reqHeap orders requests for FR-FCFS: row hits first, then age.
+type reqHeap struct {
+	ch   *Channel
+	reqs []*Request
+}
+
+func (h reqHeap) Len() int { return len(h.reqs) }
+func (h reqHeap) Less(i, j int) bool {
+	a, b := h.reqs[i], h.reqs[j]
+	ah := h.ch.banks[a.Bank].openRow == a.Row
+	bh := h.ch.banks[b.Bank].openRow == b.Row
+	if ah != bh {
+		return ah
+	}
+	return a.Arrive < b.Arrive
+}
+func (h reqHeap) Swap(i, j int) { h.reqs[i], h.reqs[j] = h.reqs[j], h.reqs[i] }
+func (h *reqHeap) Push(x any)   { h.reqs = append(h.reqs, x.(*Request)) }
+func (h *reqHeap) Pop() any {
+	old := h.reqs
+	n := len(old)
+	x := old[n-1]
+	h.reqs = old[:n-1]
+	return x
+}
+
+// Stats summarizes a simulation.
+type Stats struct {
+	Requests           int
+	RowHits, RowMisses uint64
+	Activates          uint64
+	AvgLatency         float64
+	MaxLatency         int64
+	LastDone           int64
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("dramsim{n:%d rowhit:%.0f%% act:%d avgLat:%.1f}",
+		s.Requests, 100*float64(s.RowHits)/float64(s.RowHits+s.RowMisses),
+		s.Activates, s.AvgLatency)
+}
+
+// Simulate services the request stream (sorted by arrival) with an
+// FR-FCFS scheduler over a bounded reorder window, mutating each request's
+// Done field and returning aggregate stats.
+func (ch *Channel) Simulate(reqs []*Request, window int) Stats {
+	if window < 1 {
+		window = 16
+	}
+	h := &reqHeap{ch: ch}
+	heap.Init(h)
+	next := 0
+	var stats Stats
+	var latSum int64
+	serveOne := func(r *Request) {
+		done := ch.serve(r)
+		lat := done - r.Arrive
+		latSum += lat
+		if lat > stats.MaxLatency {
+			stats.MaxLatency = lat
+		}
+		if done > stats.LastDone {
+			stats.LastDone = done
+		}
+		stats.Requests++
+	}
+	for next < len(reqs) || h.Len() > 0 {
+		// Refill the reorder window with arrived requests.
+		for next < len(reqs) && h.Len() < window {
+			heap.Push(h, reqs[next])
+			next++
+		}
+		// FR-FCFS pick. Re-heapify cheaply: row-hit status may have
+		// changed since insertion, so rebuild order before popping.
+		heap.Init(h)
+		r := heap.Pop(h).(*Request)
+		serveOne(r)
+	}
+	stats.RowHits = ch.RowHits
+	stats.RowMisses = ch.RowMisses
+	stats.Activates = ch.Activates
+	if stats.Requests > 0 {
+		stats.AvgLatency = float64(latSum) / float64(stats.Requests)
+	}
+	return stats
+}
+
+// SimulateClosedLoop services the stream with a bounded number of
+// outstanding requests: request i may not arrive before request
+// i-outstanding completes, modeling cores that stall once their miss
+// buffers fill. This is the right mode for comparing against closed-loop
+// core models; plain Simulate is open-loop.
+func (ch *Channel) SimulateClosedLoop(reqs []*Request, outstanding int) Stats {
+	if outstanding < 1 {
+		outstanding = 8
+	}
+	var stats Stats
+	var latSum int64
+	for i, r := range reqs {
+		if i >= outstanding {
+			if dep := reqs[i-outstanding].Done; dep > r.Arrive {
+				r.Arrive = dep
+			}
+		}
+		done := ch.serve(r)
+		lat := done - r.Arrive
+		latSum += lat
+		if lat > stats.MaxLatency {
+			stats.MaxLatency = lat
+		}
+		if done > stats.LastDone {
+			stats.LastDone = done
+		}
+		stats.Requests++
+	}
+	stats.RowHits = ch.RowHits
+	stats.RowMisses = ch.RowMisses
+	stats.Activates = ch.Activates
+	if stats.Requests > 0 {
+		stats.AvgLatency = float64(latSum) / float64(stats.Requests)
+	}
+	return stats
+}

@@ -1,0 +1,236 @@
+package dramsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noRefreshTiming disables refresh for cycle-exact latency assertions.
+func noRefreshTiming() Timing {
+	t := DefaultTiming()
+	t.TREFI = 0
+	return t
+}
+
+func TestColdReadLatency(t *testing.T) {
+	// One read to a precharged bank: ACT at arrival, data after
+	// tRCD + tCAS + tBURST.
+	ch := NewChannel(8, noRefreshTiming())
+	r := &Request{Bank: 0, Row: 5, Arrive: 100}
+	st := ch.Simulate([]*Request{r}, 16)
+	tm := noRefreshTiming()
+	want := int64(100 + tm.TRCD + tm.TCAS + tm.TBURST)
+	if r.Done != want {
+		t.Errorf("cold read done at %d, want %d", r.Done, want)
+	}
+	if st.RowMisses != 1 || st.RowHits != 0 {
+		t.Errorf("row stats %d/%d", st.RowHits, st.RowMisses)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	tm := noRefreshTiming()
+	// Hit: second read to the same open row.
+	chHit := NewChannel(8, tm)
+	a := &Request{Bank: 0, Row: 5, Arrive: 0}
+	b := &Request{Bank: 0, Row: 5, Arrive: 50}
+	chHit.Simulate([]*Request{a, b}, 16)
+	hitLat := b.Done - b.Arrive
+	// Conflict: second read to a different row of the same bank.
+	chMiss := NewChannel(8, tm)
+	c := &Request{Bank: 0, Row: 5, Arrive: 0}
+	d := &Request{Bank: 0, Row: 9, Arrive: 50}
+	chMiss.Simulate([]*Request{c, d}, 16)
+	missLat := d.Done - d.Arrive
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d not below conflict latency %d", hitLat, missLat)
+	}
+	// The conflict must pay at least tRP + tRCD more than the hit.
+	if missLat-hitLat < int64(tm.TRP) {
+		t.Errorf("conflict penalty only %d cycles", missLat-hitLat)
+	}
+}
+
+func TestRowConflictHonorsTRAS(t *testing.T) {
+	tm := noRefreshTiming()
+	ch := NewChannel(8, tm)
+	a := &Request{Bank: 0, Row: 1, Arrive: 0}
+	b := &Request{Bank: 0, Row: 2, Arrive: 1} // immediate conflict
+	ch.Simulate([]*Request{a, b}, 1)          // window 1: strict order
+	// The second ACT cannot happen before tRAS + tRP after the first ACT.
+	minDone := int64(tm.TRAS+tm.TRP+tm.TRCD+tm.TCAS) + int64(tm.TBURST)
+	if b.Done < minDone {
+		t.Errorf("conflicting access done at %d, violates tRAS+tRP (min %d)", b.Done, minDone)
+	}
+}
+
+func TestTFAWLimitsActivationBursts(t *testing.T) {
+	tm := noRefreshTiming()
+	ch := NewChannel(8, tm)
+	// Five activations to five banks at once: the fifth must wait for the
+	// four-activate window.
+	var reqs []*Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, &Request{Bank: i, Row: 1, Arrive: 0})
+	}
+	ch.Simulate(reqs, 1)
+	fifthAct := reqs[4].Done - int64(tm.TRCD+tm.TCAS+tm.TBURST)
+	if fifthAct < int64(tm.TFAW) {
+		t.Errorf("fifth ACT at %d, violates tFAW %d", fifthAct, tm.TFAW)
+	}
+	// And adjacent ACTs respect tRRD.
+	secondAct := reqs[1].Done - int64(tm.TRCD+tm.TCAS+tm.TBURST)
+	if secondAct < int64(tm.TRRD) {
+		t.Errorf("second ACT at %d, violates tRRD %d", secondAct, tm.TRRD)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	tm := noRefreshTiming()
+	ch := NewChannel(8, tm)
+	w := &Request{Bank: 0, Row: 1, Write: true, Arrive: 0}
+	r := &Request{Bank: 0, Row: 1, Arrive: 1}
+	ch.Simulate([]*Request{w, r}, 1)
+	// The read's column command waits tWTR after the write data ends.
+	readCol := r.Done - int64(tm.TCAS+tm.TBURST)
+	if readCol < w.Done+int64(tm.TWTR) {
+		t.Errorf("read column at %d, violates tWTR after write end %d", readCol, w.Done)
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	tm := noRefreshTiming()
+	ch := NewChannel(8, tm)
+	// Open row 1, then enqueue a conflict (row 2) FIRST and a hit (row 1)
+	// second; FR-FCFS should serve the hit before the conflict.
+	warm := &Request{Bank: 0, Row: 1, Arrive: 0}
+	conflict := &Request{Bank: 0, Row: 2, Arrive: 60}
+	hit := &Request{Bank: 0, Row: 1, Arrive: 61}
+	ch.Simulate([]*Request{warm, conflict, hit}, 8)
+	if hit.Done >= conflict.Done {
+		t.Errorf("row hit (done %d) served after conflict (done %d)", hit.Done, conflict.Done)
+	}
+}
+
+func TestBankParallelismBeatsSingleBank(t *testing.T) {
+	tm := noRefreshTiming()
+	mk := func(banks int) int64 {
+		ch := NewChannel(8, tm)
+		var reqs []*Request
+		for i := 0; i < 32; i++ {
+			reqs = append(reqs, &Request{Bank: i % banks, Row: i, Arrive: 0})
+		}
+		st := ch.Simulate(reqs, 32)
+		return st.LastDone
+	}
+	oneBank := mk(1)
+	eightBanks := mk(8)
+	if eightBanks >= oneBank {
+		t.Errorf("8-bank finish %d not below 1-bank finish %d", eightBanks, oneBank)
+	}
+}
+
+func TestThroughputBoundedByBus(t *testing.T) {
+	// Row-hit streams are bus-limited: n requests cannot finish faster
+	// than n*tBURST.
+	tm := noRefreshTiming()
+	ch := NewChannel(8, tm)
+	var reqs []*Request
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, &Request{Bank: i % 8, Row: 0, Arrive: 0})
+	}
+	st := ch.Simulate(reqs, 32)
+	if st.LastDone < int64(100*tm.TBURST) {
+		t.Errorf("finished at %d, faster than the data bus allows (%d)",
+			st.LastDone, 100*tm.TBURST)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ch := NewChannel(8, noRefreshTiming())
+	rng := rand.New(rand.NewSource(1))
+	var reqs []*Request
+	for i := 0; i < 500; i++ {
+		reqs = append(reqs, &Request{
+			Bank:   rng.Intn(8),
+			Row:    rng.Intn(64),
+			Write:  rng.Intn(4) == 0,
+			Arrive: int64(i * 3),
+		})
+	}
+	st := ch.Simulate(reqs, 16)
+	if st.Requests != 500 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.RowHits+st.RowMisses != 500 {
+		t.Errorf("row outcomes %d+%d != 500", st.RowHits, st.RowMisses)
+	}
+	if st.AvgLatency <= 0 || st.MaxLatency <= 0 {
+		t.Error("latency stats empty")
+	}
+	if st.String() == "" {
+		t.Error("String empty")
+	}
+	// Every request completed after it arrived.
+	for _, r := range reqs {
+		if r.Done <= r.Arrive {
+			t.Fatalf("request done %d before arrival %d", r.Done, r.Arrive)
+		}
+	}
+}
+
+func TestClosedLoopBoundsLatency(t *testing.T) {
+	tm := noRefreshTiming()
+	mkReqs := func() []*Request {
+		rng := rand.New(rand.NewSource(2))
+		var reqs []*Request
+		for i := 0; i < 2000; i++ {
+			reqs = append(reqs, &Request{
+				Bank:   rng.Intn(8),
+				Row:    rng.Intn(64),
+				Arrive: int64(i), // absurdly fast open-loop arrival
+			})
+		}
+		return reqs
+	}
+	open := NewChannel(8, tm).Simulate(mkReqs(), 16)
+	closed := NewChannel(8, tm).SimulateClosedLoop(mkReqs(), 16)
+	if closed.AvgLatency >= open.AvgLatency {
+		t.Errorf("closed-loop latency %.1f not below open-loop %.1f",
+			closed.AvgLatency, open.AvgLatency)
+	}
+	// With 16 outstanding, latency stays within a small multiple of the
+	// worst single-request service time.
+	worst := float64(tm.TRAS + tm.TRP + tm.TRCD + tm.TCAS + tm.TBURST)
+	if closed.AvgLatency > 16*worst {
+		t.Errorf("closed-loop latency %.1f unreasonably high", closed.AvgLatency)
+	}
+}
+
+func TestRefreshBlocksCommands(t *testing.T) {
+	tm := DefaultTiming()
+	tm.TREFI, tm.TRFC = 100, 40
+	ch := NewChannel(8, tm)
+	// A request arriving inside a refresh window is pushed past it.
+	r := &Request{Bank: 0, Row: 1, Arrive: 110} // window [100,140)
+	ch.Simulate([]*Request{r}, 1)
+	earliest := int64(140 + tm.TRCD + tm.TCAS + tm.TBURST)
+	if r.Done < earliest {
+		t.Errorf("request done at %d, refresh window ignored (min %d)", r.Done, earliest)
+	}
+	// Outside the window nothing changes.
+	ch2 := NewChannel(8, tm)
+	r2 := &Request{Bank: 0, Row: 1, Arrive: 50}
+	ch2.Simulate([]*Request{r2}, 1)
+	if r2.Done != int64(50+tm.TRCD+tm.TCAS+tm.TBURST) {
+		t.Errorf("request outside refresh window delayed: %d", r2.Done)
+	}
+	// TREFI=0 disables refresh.
+	tm.TREFI = 0
+	ch3 := NewChannel(8, tm)
+	r3 := &Request{Bank: 0, Row: 1, Arrive: 110}
+	ch3.Simulate([]*Request{r3}, 1)
+	if r3.Done != int64(110+tm.TRCD+tm.TCAS+tm.TBURST) {
+		t.Errorf("disabled refresh still delayed: %d", r3.Done)
+	}
+}

@@ -1,0 +1,444 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/parity"
+	"repro/internal/stack"
+)
+
+// newTestRand returns a deterministic RNG for randomized tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func cfg() stack.Config { return stack.DefaultConfig() }
+
+// mk builds faults with the standard footprint shapes on the default
+// geometry, mirroring internal/fault's sampler.
+func mk(class fault.Class, die, bank, row, col uint32) fault.Fault {
+	r := fault.Region{
+		Stack: 0,
+		Die:   fault.ExactPattern(die),
+		Bank:  fault.ExactPattern(bank),
+		Row:   fault.ExactPattern(row),
+		Col:   fault.ExactPattern(col),
+	}
+	switch class {
+	case fault.Word:
+		r.Col = fault.MaskPattern(^uint32(63), col&^uint32(63))
+	case fault.Row:
+		r.Col = fault.AllPattern()
+	case fault.Column:
+		r.Row = fault.RangePattern(0, 5200)
+	case fault.SubArray:
+		r.Row = fault.RangePattern(0, 5200)
+		r.Col = fault.AllPattern()
+	case fault.Bank:
+		r.Row = fault.AllPattern()
+		r.Col = fault.AllPattern()
+	case fault.DataTSV:
+		r.Bank = fault.AllPattern()
+		r.Row = fault.AllPattern()
+		r.Col = fault.MaskPattern(255, col&255)
+	case fault.AddrTSV:
+		r.Bank = fault.AllPattern()
+		r.Row = fault.MaskPattern(1<<15, 1<<15)
+		r.Col = fault.AllPattern()
+	}
+	return fault.Fault{Class: class, Persistence: fault.Permanent, Region: r, TSV: int(col)}
+}
+
+func one(f fault.Fault) []fault.Fault { return []fault.Fault{f} }
+
+func TestSymbol8SameBankSingleFaults(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.SameBank)
+	cases := []struct {
+		name string
+		f    fault.Fault
+		want bool // uncorrectable?
+	}{
+		{"bit", mk(fault.Bit, 0, 0, 10, 5), false},
+		{"word", mk(fault.Word, 0, 0, 10, 128), true},   // 8 symbols > 4
+		{"column", mk(fault.Column, 0, 0, 0, 5), false}, // 1 bit per line
+		{"row", mk(fault.Row, 0, 0, 10, 0), true},
+		{"bank", mk(fault.Bank, 0, 0, 0, 0), true},
+		{"data-tsv", mk(fault.DataTSV, 0, 0, 0, 7), false}, // 2 symbols per line
+		{"addr-tsv", mk(fault.AddrTSV, 0, 0, 0, 0), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.Uncorrectable(one(tc.f)); got != tc.want {
+				t.Errorf("Uncorrectable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSymbol8SameBankPairs(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.SameBank)
+	a := mk(fault.Bit, 0, 0, 10, 5)
+	b := mk(fault.Bit, 0, 0, 10, 100)
+	if s.Uncorrectable([]fault.Fault{a, b}) {
+		t.Error("two bit faults on one line uncorrectable (budget 4)")
+	}
+	// Bit faults in different banks never share a codeword.
+	var spread []fault.Fault
+	for bank := uint32(1); bank <= 5; bank++ {
+		spread = append(spread, mk(fault.Bit, 0, bank, 10, 5))
+	}
+	if s.Uncorrectable(spread) {
+		t.Error("bit faults in distinct banks uncorrectable")
+	}
+	// Column fault (1 symbol/line) + data-TSV (2 symbols/line) in same
+	// channel: 3 <= 4, fine.
+	mix := []fault.Fault{mk(fault.Column, 0, 0, 0, 5), mk(fault.DataTSV, 0, 0, 0, 77)}
+	if s.Uncorrectable(mix) {
+		t.Error("column+TSV (3 symbols/line) uncorrectable")
+	}
+	// Three data-TSVs in one channel: pairwise sums 4 <= 4, fine (known
+	// pairwise approximation).
+	three := []fault.Fault{mk(fault.DataTSV, 0, 0, 0, 1), mk(fault.DataTSV, 0, 0, 0, 2)}
+	if s.Uncorrectable(three) {
+		t.Error("two data-TSVs (4 symbols/line) uncorrectable under budget 4")
+	}
+}
+
+func TestSymbol8AcrossBanks(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.AcrossBanks)
+	// A bank failure corrupts one unit: correctable (ChipKill erasure).
+	if s.Uncorrectable(one(mk(fault.Bank, 0, 3, 0, 0))) {
+		t.Error("single bank failure uncorrectable under Across-Banks")
+	}
+	// A data TSV fault corrupts 2 bits in 2 units: within the 4-symbol
+	// budget, correctable.
+	if s.Uncorrectable(one(mk(fault.DataTSV, 0, 0, 0, 7))) {
+		t.Error("single data-TSV fault uncorrectable under Across-Banks")
+	}
+	// An addr TSV fault makes whole lines unreachable: fail.
+	if !s.Uncorrectable(one(mk(fault.AddrTSV, 0, 0, 0, 0))) {
+		t.Error("addr-TSV fault correctable under Across-Banks (should fail)")
+	}
+	// Two bank failures in the same die share every codeword.
+	two := []fault.Fault{mk(fault.Bank, 0, 3, 0, 0), mk(fault.Bank, 0, 4, 0, 0)}
+	if !s.Uncorrectable(two) {
+		t.Error("two bank failures in one die correctable (should fail)")
+	}
+	// Two bank failures in different dies never share a codeword.
+	sep := []fault.Fault{mk(fault.Bank, 0, 3, 0, 0), mk(fault.Bank, 1, 4, 0, 0)}
+	if s.Uncorrectable(sep) {
+		t.Error("bank failures in different dies uncorrectable")
+	}
+	// Bank failure + word fault in another bank of the same die, same row
+	// and slice window: 8 erasures + 8 symbols >> budget.
+	pair := []fault.Fault{mk(fault.Bank, 0, 3, 0, 0), mk(fault.Word, 0, 4, 10, 0)}
+	if !s.Uncorrectable(pair) {
+		t.Error("bank + word in same die correctable (should fail)")
+	}
+	// Bank failure + bit fault in another bank: 8 + 1 symbols > 4.
+	pair2 := []fault.Fault{mk(fault.Bank, 0, 3, 0, 0), mk(fault.Bit, 0, 4, 10, 0)}
+	if !s.Uncorrectable(pair2) {
+		t.Error("bank + bit in same die correctable (should fail)")
+	}
+	// Two bit faults in different banks: 2 symbols total <= 4, fine.
+	bits := []fault.Fault{mk(fault.Bit, 0, 1, 10, 5), mk(fault.Bit, 0, 2, 10, 7)}
+	if s.Uncorrectable(bits) {
+		t.Error("two bit faults in different banks uncorrectable (2 <= 4)")
+	}
+	// Data-TSV + bank failure in the same die: 2 + 8 symbols > 4, and the
+	// TSV co-locates with every line.
+	tsvBank := []fault.Fault{mk(fault.DataTSV, 0, 0, 0, 7), mk(fault.Bank, 0, 3, 0, 0)}
+	if !s.Uncorrectable(tsvBank) {
+		t.Error("data-TSV + bank failure correctable (should fail)")
+	}
+}
+
+func TestSymbol8AcrossChannels(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.AcrossChannels)
+	// Whole-channel faults confined to one die are correctable.
+	for _, class := range []fault.Class{fault.Bank, fault.DataTSV, fault.AddrTSV} {
+		if s.Uncorrectable(one(mk(class, 2, 0, 0, 7))) {
+			t.Errorf("%v fault uncorrectable under Across-Channels", class)
+		}
+	}
+	// Two channel faults in different dies of one stack: fail.
+	two := []fault.Fault{mk(fault.AddrTSV, 2, 0, 0, 0), mk(fault.DataTSV, 3, 0, 0, 7)}
+	if !s.Uncorrectable(two) {
+		t.Error("two faulty channels correctable (should fail)")
+	}
+	// Same faults in different stacks: fine.
+	other := mk(fault.DataTSV, 3, 0, 0, 7)
+	other.Region.Stack = 1
+	sep := []fault.Fault{mk(fault.AddrTSV, 2, 0, 0, 0), other}
+	if s.Uncorrectable(sep) {
+		t.Error("faults in separate stacks uncorrectable")
+	}
+	// Bank faults in two dies with different bank indices never share a
+	// codeword.
+	diffBank := []fault.Fault{mk(fault.Bank, 2, 0, 0, 0), mk(fault.Bank, 3, 1, 0, 0)}
+	if s.Uncorrectable(diffBank) {
+		t.Error("bank faults with different bank indices uncorrectable")
+	}
+	// Same bank index in two dies: every codeword of that bank collides.
+	sameBank := []fault.Fault{mk(fault.Bank, 2, 0, 0, 0), mk(fault.Bank, 3, 0, 0, 0)}
+	if !s.Uncorrectable(sameBank) {
+		t.Error("bank faults at same bank index in two dies correctable (should fail)")
+	}
+	// Two bit faults in different dies, same codeword: 2 <= 4, fine.
+	bits := []fault.Fault{mk(fault.Bit, 2, 0, 10, 5), mk(fault.Bit, 3, 0, 10, 7)}
+	if s.Uncorrectable(bits) {
+		t.Error("two scattered bit errors uncorrectable under budget 4")
+	}
+}
+
+func TestSymbol8MetadataDiePairing(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.AcrossChannels)
+	meta := mk(fault.Bank, 8, 0, 0, 0)
+	data := mk(fault.Bank, 2, 0, 0, 0)
+	if !s.Uncorrectable([]fault.Fault{meta, data}) {
+		t.Error("metadata + data die corruption correctable (should fail)")
+	}
+	if s.Uncorrectable(one(meta)) {
+		t.Error("metadata-die-only fault uncorrectable")
+	}
+}
+
+func TestBCH6EC7ED(t *testing.T) {
+	b := NewBCH6EC7ED(cfg())
+	cases := []struct {
+		name string
+		f    fault.Fault
+		want bool
+	}{
+		{"bit", mk(fault.Bit, 0, 0, 10, 5), false},
+		{"word", mk(fault.Word, 0, 0, 10, 128), true}, // 64 bits
+		{"column", mk(fault.Column, 0, 0, 0, 5), false},
+		{"row", mk(fault.Row, 0, 0, 10, 0), true},
+		{"bank", mk(fault.Bank, 0, 0, 0, 0), true},
+		{"data-tsv", mk(fault.DataTSV, 0, 0, 0, 7), false}, // 2 bits/line
+		{"addr-tsv", mk(fault.AddrTSV, 0, 0, 0, 0), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := b.Uncorrectable(one(tc.f)); got != tc.want {
+				t.Errorf("Uncorrectable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	a := mk(fault.Bit, 0, 0, 10, 5)
+	c := mk(fault.Bit, 0, 0, 10, 6)
+	if b.Uncorrectable([]fault.Fault{a, c}) {
+		t.Error("two bit faults on one line uncorrectable under 6EC7ED")
+	}
+	if b.Uncorrectable([]fault.Fault{mk(fault.DataTSV, 0, 0, 0, 7), a}) {
+		t.Error("data-TSV + bit (3 bits/line) uncorrectable under 6EC7ED")
+	}
+	// Three data TSVs in one channel: pairwise 4 <= 6 passes, single 2 <= 6
+	// passes; with a 5-bit cluster they exceed: column (1 bit) + word is
+	// already singly fatal. Pair: two TSVs + bit = 5 bits, fine.
+	if b.Uncorrectable([]fault.Fault{mk(fault.DataTSV, 0, 0, 0, 7), mk(fault.DataTSV, 0, 0, 0, 9)}) {
+		t.Error("two data-TSVs (4 bits/line) uncorrectable under 6EC7ED")
+	}
+}
+
+func TestRAID5(t *testing.T) {
+	r := NewRAID5(cfg())
+	if r.Name() != "RAID-5" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	// Single-channel faults are correctable.
+	for _, class := range []fault.Class{fault.Bank, fault.AddrTSV} {
+		if r.Uncorrectable(one(mk(class, 2, 0, 0, 0))) {
+			t.Errorf("single %v fault uncorrectable under RAID-5", class)
+		}
+	}
+	// Unlike the symbol code, RAID-5 cannot fix two scattered bit errors in
+	// different dies of the same codeword.
+	bits := []fault.Fault{mk(fault.Bit, 2, 0, 10, 5), mk(fault.Bit, 3, 0, 10, 7)}
+	if !r.Uncorrectable(bits) {
+		t.Error("RAID-5 corrected two corrupted units (should fail)")
+	}
+	two := []fault.Fault{mk(fault.Bank, 2, 0, 0, 0), mk(fault.Bank, 3, 0, 0, 0)}
+	if !r.Uncorrectable(two) {
+		t.Error("two corrupted channels correctable under RAID-5 (should fail)")
+	}
+}
+
+func TestParityPredicateAdapters(t *testing.T) {
+	for _, dims := range []parity.Dims{parity.OneDP, parity.TwoDP, parity.ThreeDP} {
+		p := NewParity(cfg(), dims)
+		if p.Name() != dims.String() {
+			t.Errorf("Name = %q, want %q", p.Name(), dims.String())
+		}
+		if p.Uncorrectable(nil) {
+			t.Errorf("%v: empty set uncorrectable", dims)
+		}
+		if p.Uncorrectable(one(mk(fault.Bank, 0, 0, 0, 0))) {
+			t.Errorf("%v: single bank fault uncorrectable", dims)
+		}
+	}
+}
+
+func TestNoProtection(t *testing.T) {
+	var n NoProtection
+	if n.Uncorrectable(nil) {
+		t.Error("no faults should be fine even unprotected")
+	}
+	if !n.Uncorrectable(one(mk(fault.Bit, 0, 0, 0, 0))) {
+		t.Error("any fault must fail without protection")
+	}
+}
+
+func TestDistinctValuesAvailable(t *testing.T) {
+	a := fault.ExactPattern(3)
+	b := fault.ExactPattern(3)
+	if distinctValuesAvailable(a, b, 8) {
+		t.Error("same singleton reported distinct")
+	}
+	c := fault.ExactPattern(4)
+	if !distinctValuesAvailable(a, c, 8) {
+		t.Error("different singletons not distinct")
+	}
+	all := fault.AllPattern()
+	if !distinctValuesAvailable(a, all, 8) {
+		t.Error("singleton vs all not distinct")
+	}
+	empty := fault.RangePattern(9, 10) // outside [0,8)
+	if distinctValuesAvailable(a, empty, 8) {
+		t.Error("empty pattern reported distinct")
+	}
+}
+
+func TestWindowsIntersect(t *testing.T) {
+	a := fault.ExactPattern(5)  // window 0 of 64-bit windows
+	b := fault.ExactPattern(63) // still window 0
+	c := fault.ExactPattern(64) // window 1
+	if !windowsIntersect(a, b, 64, 16384) {
+		t.Error("bits 5 and 63 should share window 0")
+	}
+	if windowsIntersect(a, c, 64, 16384) {
+		t.Error("bits 5 and 64 should not share a window")
+	}
+	tsvP := fault.MaskPattern(255, 7) // bit positions ≡ 7 (mod 256)
+	if windowsIntersect(tsvP, c, 64, 16384) {
+		t.Error("TSV stride (7 mod 256) should miss window [64,128)")
+	}
+	d := fault.ExactPattern(300) // window [256,320), which contains 263
+	if !windowsIntersect(tsvP, d, 64, 16384) {
+		t.Error("TSV stride should hit window [256,320) via bit 263")
+	}
+}
+
+func TestMaxUnitsPerWindow(t *testing.T) {
+	word := fault.MaskPattern(^uint32(63), 128)
+	if got := maxUnitsPerWindow(word, 8, 512, 16384); got != 8 {
+		t.Errorf("word symbols/line = %d, want 8", got)
+	}
+	tsvP := fault.MaskPattern(255, 7)
+	if got := maxUnitsPerWindow(tsvP, 8, 512, 16384); got != 2 {
+		t.Errorf("TSV symbols/line = %d, want 2", got)
+	}
+	if got := maxUnitsPerWindow(fault.AllPattern(), 8, 512, 16384); got != 64 {
+		t.Errorf("row symbols/line = %d, want 64", got)
+	}
+	if got := maxUnitsPerWindow(fault.ExactPattern(1000), 8, 512, 16384); got != 1 {
+		t.Errorf("bit symbols/line = %d, want 1", got)
+	}
+}
+
+func TestTwoDECC(t *testing.T) {
+	e := NewTwoDECC(cfg())
+	if e.Name() != "2D-ECC" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	// Small-granularity faults are correctable.
+	for _, class := range []fault.Class{fault.Bit, fault.Word, fault.Row, fault.Column} {
+		if e.Uncorrectable(one(mk(class, 0, 0, 10, 5))) {
+			t.Errorf("%v fault uncorrectable under 2D-ECC", class)
+		}
+	}
+	// Large-granularity and TSV faults defeat it (why 3DP wins, §VIII-E).
+	for _, class := range []fault.Class{fault.SubArray, fault.Bank, fault.DataTSV, fault.AddrTSV} {
+		if !e.Uncorrectable(one(mk(class, 0, 0, 0, 7))) {
+			t.Errorf("%v fault correctable under 2D-ECC (should fail)", class)
+		}
+	}
+	// Two bit faults in the same 32x32 tile: fail.
+	a := mk(fault.Bit, 0, 0, 10, 5)
+	b := mk(fault.Bit, 0, 0, 12, 7) // same row band, same column band
+	if !e.Uncorrectable([]fault.Fault{a, b}) {
+		t.Error("two faults in one tile correctable (should fail)")
+	}
+	// Same band rows but distant columns: different tiles, fine.
+	c := mk(fault.Bit, 0, 0, 12, 5000)
+	if e.Uncorrectable([]fault.Fault{a, c}) {
+		t.Error("faults in different tiles uncorrectable")
+	}
+	// Different banks never share a tile.
+	d := mk(fault.Bit, 0, 1, 10, 5)
+	if e.Uncorrectable([]fault.Fault{a, d}) {
+		t.Error("faults in different banks uncorrectable")
+	}
+}
+
+func TestSymbol8DeviceGranular(t *testing.T) {
+	s := NewSymbol8DeviceGranular(cfg(), stack.AcrossChannels)
+	if s.Name() != "Symbol8/Across-Channels/dev-gran" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	// Two permanent bit faults in different dies: exact bookkeeping says
+	// correctable (2 symbols), device-granular says failure.
+	a := mk(fault.Bit, 2, 0, 10, 5)
+	b := mk(fault.Bit, 3, 1, 99, 7)
+	exact := NewSymbol8(cfg(), stack.AcrossChannels)
+	if exact.Uncorrectable([]fault.Fault{a, b}) {
+		t.Error("exact model failed two scattered bits")
+	}
+	if !s.Uncorrectable([]fault.Fault{a, b}) {
+		t.Error("device-granular model corrected two faulty dies (should fail)")
+	}
+	// Transient faults do not mark devices.
+	at, bt := a, b
+	at.Persistence = fault.Transient
+	bt.Persistence = fault.Transient
+	if s.Uncorrectable([]fault.Fault{at, bt}) {
+		t.Error("transient faults marked devices")
+	}
+	// Same die: one suspect unit only.
+	c := mk(fault.Bit, 2, 1, 50, 9)
+	if s.Uncorrectable([]fault.Fault{a, c}) {
+		t.Error("two faults in one die failed under device-granular")
+	}
+	// Different stacks never share a codeword.
+	d := mk(fault.Bit, 3, 0, 10, 5)
+	d.Region.Stack = 1
+	if s.Uncorrectable([]fault.Fault{a, d}) {
+		t.Error("faults in different stacks failed")
+	}
+}
+
+// TestDeviceGranularIsCoarser checks the containment invariant: everything
+// the exact model calls uncorrectable, the device-granular model does too.
+func TestDeviceGranularIsCoarser(t *testing.T) {
+	c := cfg()
+	exact := NewSymbol8(c, stack.AcrossChannels)
+	coarse := NewSymbol8DeviceGranular(c, stack.AcrossChannels)
+	classes := []fault.Class{fault.Bit, fault.Word, fault.Row, fault.Column, fault.SubArray, fault.Bank, fault.DataTSV, fault.AddrTSV}
+	rng := newTestRand()
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(3)
+		live := make([]fault.Fault, n)
+		for i := range live {
+			f := mk(classes[rng.Intn(len(classes))],
+				uint32(rng.Intn(9)), uint32(rng.Intn(8)),
+				uint32(rng.Intn(65536)), uint32(rng.Intn(16384)))
+			if rng.Intn(3) == 0 {
+				f.Persistence = fault.Transient
+			}
+			live[i] = f
+		}
+		if exact.Uncorrectable(live) && !coarse.Uncorrectable(live) {
+			t.Fatalf("trial %d: exact fails but device-granular passes: %+v", trial, live)
+		}
+	}
+}

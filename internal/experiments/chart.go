@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// asciiChart renders named series of probabilities as a log-scale ASCII
+// chart, one column per x value — a terminal stand-in for the paper's
+// log-axis figures.
+type asciiChart struct {
+	xLabels []string
+	series  []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	values []float64 // <= 0 means "below resolution"
+}
+
+// newChart builds a chart over the given x labels.
+func newChart(xLabels []string) *asciiChart { return &asciiChart{xLabels: xLabels} }
+
+// add registers a series; markers cycle through a fixed alphabet.
+func (c *asciiChart) add(name string, values []float64) {
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	c.series = append(c.series, chartSeries{
+		name:   name,
+		marker: markers[len(c.series)%len(markers)],
+		values: values,
+	})
+}
+
+// render draws the chart with the given number of rows.
+func (c *asciiChart) render(rows int) string {
+	if rows < 4 {
+		rows = 8
+	}
+	// Log-scale bounds across all positive values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, v := range s.values {
+			if v > 0 {
+				lo = math.Min(lo, math.Log10(v))
+				hi = math.Max(hi, math.Log10(v))
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no positive data)\n"
+	}
+	if hi-lo < 1 {
+		hi = lo + 1
+	}
+	colW := 10
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", colW*len(c.xLabels)))
+	}
+	for _, s := range c.series {
+		for x, v := range s.values {
+			if v <= 0 {
+				continue
+			}
+			frac := (math.Log10(v) - lo) / (hi - lo)
+			r := rows - 1 - int(frac*float64(rows-1)+0.5)
+			col := x*colW + colW/2
+			if grid[r][col] == ' ' {
+				grid[r][col] = s.marker
+			} else {
+				grid[r][col] = '&' // overlapping points
+			}
+		}
+	}
+	var b strings.Builder
+	for r := range grid {
+		frac := float64(rows-1-r) / float64(rows-1)
+		level := math.Pow(10, lo+frac*(hi-lo))
+		fmt.Fprintf(&b, "%9.1e |%s\n", level, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", colW*len(c.xLabels)))
+	fmt.Fprintf(&b, "%9s  ", "")
+	for _, l := range c.xLabels {
+		fmt.Fprintf(&b, "%-*s", colW, l)
+	}
+	b.WriteByte('\n')
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%9s  %c = %s\n", "", s.marker, s.name)
+	}
+	return b.String()
+}

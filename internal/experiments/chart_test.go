@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := newChart([]string{"y1", "y2", "y3"})
+	c.add("alpha", []float64{1e-5, 1e-4, 1e-3})
+	c.add("beta", []float64{1e-3, 1e-3, 1e-3})
+	out := c.render(10)
+	for _, want := range []string{"alpha", "beta", "y1", "y3", "*", "o", "1.0e-0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Higher probability must be drawn on a higher row: the 1e-3 marker of
+	// alpha (col y3) should appear above its 1e-5 marker (col y1).
+	lines := strings.Split(out, "\n")
+	rowOf := func(col int) int {
+		for i, l := range lines {
+			idx := strings.IndexByte(l, '|')
+			if idx < 0 {
+				continue
+			}
+			body := l[idx+1:]
+			if col < len(body) && body[col] != ' ' {
+				return i
+			}
+		}
+		return -1
+	}
+	colY1, colY3 := 5, 25
+	if r1, r3 := rowOf(colY1), rowOf(colY3); r1 >= 0 && r3 >= 0 && r3 > r1 {
+		t.Errorf("1e-3 (row %d) drawn below 1e-5 (row %d)\n%s", r3, r1, out)
+	}
+}
+
+func TestChartHandlesZeros(t *testing.T) {
+	c := newChart([]string{"a"})
+	c.add("empty", []float64{0})
+	if out := c.render(8); !strings.Contains(out, "no positive data") {
+		t.Errorf("zero-only chart rendered: %q", out)
+	}
+	c2 := newChart([]string{"a", "b"})
+	c2.add("partial", []float64{0, 1e-4})
+	out := c2.render(8)
+	if !strings.Contains(out, "*") {
+		t.Error("partial series lost its marker")
+	}
+}
+
+func TestChartOverlapMarker(t *testing.T) {
+	c := newChart([]string{"a"})
+	c.add("s1", []float64{1e-3})
+	c.add("s2", []float64{1e-3})
+	if out := c.render(8); !strings.Contains(out, "&") {
+		t.Errorf("overlapping points not marked:\n%s", out)
+	}
+}

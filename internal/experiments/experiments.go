@@ -1,0 +1,455 @@
+// Package experiments regenerates every table and figure of the Citadel
+// paper's evaluation from the simulators in this repository. Each
+// experiment returns a Report with the same rows/series the paper plots;
+// cmd/citadel-repro prints them and bench_test.go wraps them as Go
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	citadel "repro"
+	"repro/internal/workload"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string // "table1", "fig14", ...
+	Title string
+	Text  string // formatted rows, ready to print
+}
+
+// Options tunes experiment cost.
+type Options struct {
+	// Trials is the Monte Carlo trial count for reliability experiments.
+	Trials int
+	// Requests is the request count for performance experiments.
+	Requests int
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+// DefaultOptions balances fidelity and runtime (a few minutes for all
+// experiments). Increase Trials toward 10^6 for publication-grade curves.
+func DefaultOptions() Options {
+	return Options{Trials: 100000, Requests: 60000, Seed: 42}
+}
+
+// All lists every experiment ID in paper order.
+func All() []string {
+	return []string{
+		"table1", "table2", "fig4", "fig5", "fig9", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "table3", "fig18", "fig19", "overhead",
+	}
+}
+
+// Run dispatches one experiment by ID.
+func Run(id string, opt Options) (Report, error) {
+	switch id {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(), nil
+	case "fig4":
+		return Fig4(opt), nil
+	case "fig5":
+		return Fig5(opt), nil
+	case "fig9":
+		return Fig9(opt), nil
+	case "fig13":
+		return Fig13(opt), nil
+	case "fig14":
+		return Fig14(opt), nil
+	case "fig15":
+		return Fig15(opt), nil
+	case "fig16":
+		return Fig16(opt), nil
+	case "fig17":
+		return Fig17(opt), nil
+	case "table3":
+		return Table3(opt), nil
+	case "fig18":
+		return Fig18(opt), nil
+	case "fig19":
+		return Fig19(opt), nil
+	case "overhead":
+		return Overhead(), nil
+	default:
+		if rep, ok := runAblation(id, opt); ok {
+			return rep, nil
+		}
+		return Report{}, fmt.Errorf("experiments: unknown id %q (want one of %v or ablations %v)",
+			id, All(), Ablations())
+	}
+}
+
+// Table1 prints the scaled FIT rates (paper Table I).
+func Table1() Report {
+	r := citadel.Table1Rates()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %12s\n", "Failure mode", "Transient", "Permanent")
+	fmt.Fprintf(&b, "%-18s %12.1f %12.1f\n", "Single bit", r.BitTransient, r.BitPermanent)
+	fmt.Fprintf(&b, "%-18s %12.1f %12.1f\n", "Single word", r.WordTransient, r.WordPermanent)
+	fmt.Fprintf(&b, "%-18s %12.1f %12.1f\n", "Single column", r.ColumnTransient, r.ColumnPermanent)
+	fmt.Fprintf(&b, "%-18s %12.1f %12.1f\n", "Single row", r.RowTransient, r.RowPermanent)
+	fmt.Fprintf(&b, "%-18s %12.1f %12.1f\n", "Single bank", r.BankTransient, r.BankPermanent)
+	fmt.Fprintf(&b, "%-18s %25s\n", "TSV", "sweep: 14 - 1430 FIT/die")
+	return Report{ID: "table1", Title: "Table I: stacked memory failure rates (8Gb dies, FIT)", Text: b.String()}
+}
+
+// Table2 prints the baseline system configuration (paper Table II).
+func Table2() Report {
+	cfg := citadel.DefaultConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cores                    8 @ 3.2 GHz\n")
+	fmt.Fprintf(&b, "L3 (shared)              8MB, 8-way, 64B lines\n")
+	fmt.Fprintf(&b, "DRAM                     %dx%dGB 3D stacks\n", cfg.Stacks, cfg.StackBytes()>>30)
+	fmt.Fprintf(&b, "Channels per stack       %d (1 per die)\n", cfg.Channels())
+	fmt.Fprintf(&b, "Banks per channel        %d\n", cfg.BanksPerDie)
+	fmt.Fprintf(&b, "Rows per bank            %d\n", cfg.RowsPerBank)
+	fmt.Fprintf(&b, "Row buffer               %d B\n", cfg.RowBytes)
+	fmt.Fprintf(&b, "Data TSVs per channel    %d\n", cfg.DataTSVs)
+	fmt.Fprintf(&b, "Addr TSVs per channel    %d\n", cfg.AddrTSVs)
+	fmt.Fprintf(&b, "Timing (tWTR-tCAS-tRCD-tRP-tRAS)  7-9-9-9-36 @ 800 MHz\n")
+	return Report{ID: "table2", Title: "Table II: baseline system configuration", Text: b.String()}
+}
+
+// relOpts builds reliability options.
+func relOpts(opt Options, tsvFIT float64, swap bool) citadel.ReliabilityOptions {
+	return citadel.ReliabilityOptions{
+		Rates:   citadel.Table1Rates().WithTSV(tsvFIT),
+		Trials:  opt.Trials,
+		TSVSwap: swap,
+		Seed:    opt.Seed,
+	}
+}
+
+// Fig4 sweeps TSV FIT rates for the symbol code under the three stripings.
+func Fig4(opt Options) Report {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-24s %-24s %-24s\n", "TSV FIT/die",
+		"Symbol8/Same-Bank", "Symbol8/Across-Banks", "Symbol8/Across-Channels")
+	for _, fit := range []float64{0, 14, 143, 1430} {
+		o := relOpts(opt, fit, false)
+		rs := citadel.CompareReliability(o,
+			citadel.SchemeSymbol8SameBank,
+			citadel.SchemeSymbol8AcrossBanks,
+			citadel.SchemeSymbol8AcrossChannels)
+		fmt.Fprintf(&b, "%-12.0f %-24s %-24s %-24s\n", fit,
+			probString(rs[0]), probString(rs[1]), probString(rs[2]))
+	}
+	return Report{ID: "fig4", Title: "Figure 4: striping vs reliability (8-bit symbol code), P(system failure, 7y)", Text: b.String()}
+}
+
+// probString formats a failure probability with its resolution floor.
+func probString(r citadel.Result) string {
+	if r.Failures == 0 {
+		return fmt.Sprintf("<%.1e", 1/float64(r.Trials))
+	}
+	return fmt.Sprintf("%.2e", r.Probability())
+}
+
+// geomeanPerf runs every benchmark under a configuration and returns the
+// geometric means of normalized execution time and normalized power.
+func geomeanPerf(opt Options, striping citadel.Striping, prot citadel.Protection) (exec, power float64) {
+	var ge, gp float64
+	n := 0
+	for _, prof := range citadel.Benchmarks() {
+		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
+		run := citadel.SimulatePerformance(prof, citadel.PerfOptions{
+			Striping: striping, Protection: prot, Requests: opt.Requests, Seed: opt.Seed,
+		})
+		ge += math.Log(float64(run.Cycles) / float64(base.Cycles))
+		gp += math.Log(run.ActivePowerWatts / base.ActivePowerWatts)
+		n++
+	}
+	return math.Exp(ge / float64(n)), math.Exp(gp / float64(n))
+}
+
+// Fig5 reports the execution-time and power cost of striping.
+func Fig5(opt Options) Report {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %22s %22s\n", "Mapping", "Norm. execution time", "Norm. active power")
+	fmt.Fprintf(&b, "%-18s %22.3f %22.2f\n", "Same-Bank", 1.0, 1.0)
+	for _, s := range []citadel.Striping{citadel.AcrossBanks, citadel.AcrossChannels} {
+		e, p := geomeanPerf(opt, s, citadel.NoProtection)
+		fmt.Fprintf(&b, "%-18s %22.3f %22.2f\n", s, e, p)
+	}
+	return Report{ID: "fig5", Title: "Figure 5: impact of data striping on performance and power (GMEAN, 38 workloads)", Text: b.String()}
+}
+
+// Fig9 shows TSV-SWAP effectiveness at the highest swept TSV rate.
+func Fig9(opt Options) Report {
+	var b strings.Builder
+	schemes := []citadel.Scheme{
+		citadel.SchemeSymbol8SameBank,
+		citadel.SchemeSymbol8AcrossBanks,
+		citadel.SchemeSymbol8AcrossChannels,
+	}
+	fmt.Fprintf(&b, "%-26s %-16s %-16s %-16s\n", "Mapping", "No TSV-Swap", "With TSV-Swap", "No TSV faults")
+	for _, s := range schemes {
+		noSwap := citadel.SimulateReliability(relOpts(opt, 1430, false), s)
+		withSwap := citadel.SimulateReliability(relOpts(opt, 1430, true), s)
+		noTSV := citadel.SimulateReliability(relOpts(opt, 0, false), s)
+		fmt.Fprintf(&b, "%-26s %-16s %-16s %-16s\n", s,
+			probString(noSwap), probString(withSwap), probString(noTSV))
+	}
+	return Report{ID: "fig9", Title: "Figure 9: TSV-SWAP effectiveness (TSV rate 1430 FIT/die), P(system failure, 7y)", Text: b.String()}
+}
+
+// Fig13 reports the parity-caching hit rate per suite.
+func Fig13(opt Options) Report {
+	suiteSum := map[workload.Suite]float64{}
+	suiteN := map[workload.Suite]int{}
+	for _, prof := range citadel.Benchmarks() {
+		r := citadel.MeasureParityCaching(prof, opt.Requests*3, opt.Seed)
+		suiteSum[prof.Suite] += r.HitRate()
+		suiteN[prof.Suite]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %18s\n", "Suite", "Parity hit rate")
+	var mean float64
+	var n int
+	for _, s := range workload.Suites() {
+		avg := suiteSum[s] / float64(suiteN[s])
+		fmt.Fprintf(&b, "%-12s %17.1f%%\n", s, 100*avg)
+		mean += suiteSum[s]
+		n += suiteN[s]
+	}
+	fmt.Fprintf(&b, "%-12s %17.1f%%\n", "GMEAN", 100*mean/float64(n))
+	return Report{ID: "fig13", Title: "Figure 13: LLC hit rate for Dimension-1 parity caching", Text: b.String()}
+}
+
+// yearCurves renders cumulative failure probabilities for years 1..7 as a
+// table plus a log-scale ASCII chart.
+func yearCurves(b *strings.Builder, rs []citadel.Result) {
+	defer func() {
+		labels := make([]string, 7)
+		for y := range labels {
+			labels[y] = fmt.Sprintf("y%d", y+1)
+		}
+		ch := newChart(labels)
+		for _, r := range rs {
+			vals := make([]float64, 7)
+			for y := 1; y <= 7; y++ {
+				vals[y-1] = r.ProbabilityByYear(y)
+			}
+			ch.add(r.Policy, vals)
+		}
+		fmt.Fprintf(b, "\n%s", ch.render(12))
+	}()
+	fmt.Fprintf(b, "%-28s", "Scheme \\ Year")
+	for y := 1; y <= 7; y++ {
+		fmt.Fprintf(b, " %10d", y)
+	}
+	fmt.Fprintln(b)
+	for _, r := range rs {
+		fmt.Fprintf(b, "%-28s", r.Policy)
+		for y := 1; y <= 7; y++ {
+			p := r.ProbabilityByYear(y)
+			if p == 0 {
+				fmt.Fprintf(b, " %10s", fmt.Sprintf("<%.0e", 1/float64(r.Trials)))
+			} else {
+				fmt.Fprintf(b, " %10.2e", p)
+			}
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+// Fig14 compares 1DP/2DP/3DP against the striped symbol code over years.
+func Fig14(opt Options) Report {
+	o := relOpts(opt, 0, true) // all systems employ TSV-Swap (paper §V-D)
+	rs := citadel.CompareReliability(o,
+		citadel.SchemeSymbol8AcrossChannels,
+		citadel.Scheme1DP, citadel.Scheme2DP, citadel.Scheme3DP)
+	var b strings.Builder
+	yearCurves(&b, rs)
+	if rs[3].Failures > 0 {
+		fmt.Fprintf(&b, "\n3DP vs symbol code ratio at year 7: %.2fx\n",
+			rs[0].Probability()/rs[3].Probability())
+		fmt.Fprintf(&b, "(see EXPERIMENTS.md: the paper books symbol-code failures at device\n")
+		fmt.Fprintf(&b, " granularity, which inflates them ~7x relative to the exact RS(72,64)\n")
+		fmt.Fprintf(&b, " capability modeled here)\n")
+	}
+	return Report{ID: "fig14", Title: "Figure 14: resilience of multi-dimensional parity (no DDS)", Text: b.String()}
+}
+
+// Fig15 reports per-benchmark normalized execution time.
+func Fig15(opt Options) Report {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %14s %14s %16s\n",
+		"Benchmark", "3DP", "3DP-no-cache", "Across-Banks", "Across-Channels")
+	type accum struct{ g3, g3n, gab, gac float64 }
+	var sum accum
+	n := 0
+	for _, prof := range citadel.Benchmarks() {
+		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
+		get := func(s citadel.Striping, p citadel.Protection) float64 {
+			r := citadel.SimulatePerformance(prof, citadel.PerfOptions{
+				Striping: s, Protection: p, Requests: opt.Requests, Seed: opt.Seed,
+			})
+			return float64(r.Cycles) / float64(base.Cycles)
+		}
+		d3 := get(citadel.SameBank, citadel.Protection3DP)
+		d3n := get(citadel.SameBank, citadel.Protection3DPNoCache)
+		ab := get(citadel.AcrossBanks, citadel.NoProtection)
+		ac := get(citadel.AcrossChannels, citadel.NoProtection)
+		fmt.Fprintf(&b, "%-12s %10.3f %14.3f %14.3f %16.3f\n", prof.Name, d3, d3n, ab, ac)
+		sum.g3 += math.Log(d3)
+		sum.g3n += math.Log(d3n)
+		sum.gab += math.Log(ab)
+		sum.gac += math.Log(ac)
+		n++
+	}
+	e := func(x float64) float64 { return math.Exp(x / float64(n)) }
+	fmt.Fprintf(&b, "%-12s %10.3f %14.3f %14.3f %16.3f\n", "GMEAN",
+		e(sum.g3), e(sum.g3n), e(sum.gab), e(sum.gac))
+	return Report{ID: "fig15", Title: "Figure 15: normalized execution time (baseline = Same-Bank, no protection)", Text: b.String()}
+}
+
+// Fig16 reports per-suite normalized active power.
+func Fig16(opt Options) Report {
+	type accum struct {
+		d3, ab, ac float64
+		n          int
+	}
+	bySuite := map[workload.Suite]*accum{}
+	var total accum
+	for _, prof := range citadel.Benchmarks() {
+		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
+		get := func(s citadel.Striping, p citadel.Protection) float64 {
+			r := citadel.SimulatePerformance(prof, citadel.PerfOptions{
+				Striping: s, Protection: p, Requests: opt.Requests, Seed: opt.Seed,
+			})
+			return r.ActivePowerWatts / base.ActivePowerWatts
+		}
+		a := bySuite[prof.Suite]
+		if a == nil {
+			a = &accum{}
+			bySuite[prof.Suite] = a
+		}
+		d3, ab, ac := math.Log(get(citadel.SameBank, citadel.Protection3DP)),
+			math.Log(get(citadel.AcrossBanks, citadel.NoProtection)),
+			math.Log(get(citadel.AcrossChannels, citadel.NoProtection))
+		a.d3 += d3
+		a.ab += ab
+		a.ac += ac
+		a.n++
+		total.d3 += d3
+		total.ab += ab
+		total.ac += ac
+		total.n++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %14s %16s\n", "Suite", "3DP", "Across-Banks", "Across-Channels")
+	row := func(name string, a *accum) {
+		e := func(x float64) float64 { return math.Exp(x / float64(a.n)) }
+		fmt.Fprintf(&b, "%-12s %8.2f %14.2f %16.2f\n", name, e(a.d3), e(a.ab), e(a.ac))
+	}
+	for _, s := range workload.Suites() {
+		row(s.String(), bySuite[s])
+	}
+	row("GMEAN", &total)
+	return Report{ID: "fig16", Title: "Figure 16: normalized active power (baseline = Same-Bank, no protection)", Text: b.String()}
+}
+
+// Fig17 reports the bimodal rows-needed-for-sparing distribution.
+func Fig17(opt Options) Report {
+	// Boost rates to gather enough faulty banks quickly; the *distribution*
+	// is rate-independent (each fault's footprint is what it is).
+	o := relOpts(opt, 0, true)
+	o.Rates.BitPermanent *= 50
+	o.Rates.WordPermanent *= 50
+	o.Rates.ColumnPermanent *= 50
+	o.Rates.RowPermanent *= 50
+	o.Rates.BankPermanent *= 50
+	c := citadel.RunFaultCensus(o)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %10s\n", "Rows needed for sparing", "Faulty banks", "Percent")
+	for _, rows := range c.SortedRowCounts() {
+		fmt.Fprintf(&b, "%-24d %12d %9.3f%%\n", rows, c.RowsHistogram[rows], c.RowsPercent(rows))
+	}
+	fmt.Fprintf(&b, "\nfine-grained (<=4 rows): %.2f%%   coarse-grained (>4 rows): %.2f%%\n",
+		pctBelow(c, 5), 100-pctBelow(c, 5))
+	return Report{ID: "fig17", Title: "Figure 17: permanent faults are bimodal (rows per faulty bank)", Text: b.String()}
+}
+
+func pctBelow(c citadel.FaultCensus, limit int) float64 {
+	total, small := 0, 0
+	for rows, n := range c.RowsHistogram {
+		total += n
+		if rows < limit {
+			small += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(small) / float64(total)
+}
+
+// Table3 reports the failed-banks-per-system distribution.
+func Table3(opt Options) Report {
+	o := relOpts(opt, 0, true)
+	c := citadel.RunFaultCensus(o)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s\n", "Num faulty banks", "Probability")
+	fmt.Fprintf(&b, "%-18d %11.2f%%\n", 1, c.FailedBanksPercent(1, false))
+	fmt.Fprintf(&b, "%-18d %11.2f%%\n", 2, c.FailedBanksPercent(2, false))
+	fmt.Fprintf(&b, "%-18s %11.2f%%\n", "3+", c.FailedBanksPercent(3, true))
+	fmt.Fprintf(&b, "\n(systems with >=1 failed bank: %d of %d trials)\n",
+		c.TrialsWithBankFailure, c.Trials)
+	return Report{ID: "table3", Title: "Table III: number of failed banks, for systems with >=1 bank failure", Text: b.String()}
+}
+
+// Fig18 compares 3DP and 3DP+DDS against the striped symbol code.
+func Fig18(opt Options) Report {
+	o := relOpts(opt, 0, true)
+	rs := citadel.CompareReliability(o,
+		citadel.SchemeSymbol8AcrossChannels,
+		citadel.Scheme3DP,
+		citadel.Scheme3DPDDS)
+	var b strings.Builder
+	yearCurves(&b, rs)
+	if rs[2].Failures > 0 {
+		fmt.Fprintf(&b, "\n3DP+DDS vs symbol code improvement at year 7: %.0fx\n",
+			rs[0].Probability()/rs[2].Probability())
+	} else {
+		fmt.Fprintf(&b, "\n3DP+DDS vs symbol code improvement at year 7: >%.0fx\n",
+			rs[0].Probability()*float64(rs[2].Trials))
+	}
+	return Report{ID: "fig18", Title: "Figure 18: resilience of 3DP+DDS vs symbol-based striping", Text: b.String()}
+}
+
+// Fig19 compares Citadel with 6EC7ED and RAID-5 (no TSV faults).
+func Fig19(opt Options) Report {
+	o := relOpts(opt, 0, false)
+	rs := citadel.CompareReliability(o,
+		citadel.SchemeBCH6EC7ED,
+		citadel.SchemeRAID5,
+		citadel.Scheme3DPDDS)
+	rs[2].Policy = "Citadel"
+	var b strings.Builder
+	yearCurves(&b, rs)
+	if rs[1].Failures > 0 && rs[0].Failures > 0 {
+		fmt.Fprintf(&b, "\nRAID-5 vs 6EC7ED improvement: %.0fx\n", rs[0].Probability()/rs[1].Probability())
+	}
+	return Report{ID: "fig19", Title: "Figure 19: Citadel vs 6EC7ED and RAID-5 (no TSV faults)", Text: b.String()}
+}
+
+// Overhead reports Citadel's storage accounting (paper §VII-E).
+func Overhead() Report {
+	cfg := citadel.DefaultConfig()
+	ov := citadel.ComputeStorageOverhead(cfg)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Metadata die            %.1f%% (one extra die per %d data dies)\n",
+		100*ov.MetadataFraction, cfg.DataDies)
+	fmt.Fprintf(&b, "Dimension-1 parity bank %.1f%% (1 of %d banks)\n",
+		100*ov.ParityBankFraction, cfg.DataDies*cfg.BanksPerDie)
+	fmt.Fprintf(&b, "Total DRAM overhead     %.1f%% (ECC-DIMM: 12.5%%)\n", 100*ov.Total())
+	fmt.Fprintf(&b, "On-chip SRAM            %d KB (Dim-2/3 parity rows + RRT/BRT)\n", ov.SRAMBytes/1024)
+	return Report{ID: "overhead", Title: "Storage overhead of Citadel (paper section VII-E)", Text: b.String()}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps test runs fast.
+func tinyOptions() Options {
+	return Options{Trials: 2000, Requests: 5000, Seed: 42}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	opt := tinyOptions()
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Errorf("ID = %q, want %q", rep.ID, id)
+			}
+			if rep.Title == "" || rep.Text == "" {
+				t.Error("empty report")
+			}
+		})
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow in -short mode")
+	}
+	opt := tinyOptions()
+	for _, id := range Ablations() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Text == "" {
+				t.Error("empty report")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", tinyOptions()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTable1ContainsPaperNumbers(t *testing.T) {
+	rep := Table1()
+	for _, want := range []string{"113.6", "148.8", "80.0", "32.8", "1430"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("Table I missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestTable2MatchesConfig(t *testing.T) {
+	rep := Table2()
+	for _, want := range []string{"2x8GB", "65536", "2048 B", "256", "7-9-9-9-36"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("Table II missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	rep := Overhead()
+	for _, want := range []string{"12.5%", "1.6%", "14.1%", "12.5%"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("overhead missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestFig4RowsCoverSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := Fig4(tinyOptions())
+	for _, fit := range []string{"0 ", "14 ", "143 ", "1430 "} {
+		if !strings.Contains(rep.Text, fit) {
+			t.Errorf("Figure 4 missing TSV rate row %q", fit)
+		}
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	o := DefaultOptions()
+	if o.Trials < 10000 || o.Requests < 10000 {
+		t.Errorf("default options too small: %+v", o)
+	}
+}

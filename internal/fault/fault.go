@@ -1,0 +1,465 @@
+// Package fault defines the fault taxonomy, failure rates, and fault
+// footprint algebra for stacked DRAM, following the field data of Sridharan
+// & Liberty (SC 2012) scaled to 8 Gb dies exactly as Citadel's Table I does,
+// plus the TSV fault modes the paper introduces for 3D stacks.
+//
+// A fault is a footprint — a set of affected (die, bank, row, bit-column)
+// cells within one stack — paired with a granularity class, a persistence,
+// and an arrival time. Protection schemes decide correctability by
+// intersecting footprints, so the algebra (package-level Pattern/Region) is
+// the contract between the fault model and every scheme.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stack"
+)
+
+// Class is the granularity class of a fault.
+type Class int
+
+const (
+	// Bit is a single-bit fault.
+	Bit Class = iota
+	// Word is a fault confined to one aligned 64-bit word of a row.
+	Word
+	// Column is a column-decoder fault: one bit-column across every row of
+	// one sub-array.
+	Column
+	// Row is a single full-row fault.
+	Row
+	// SubArray is a failure of one sub-array (a contiguous band of rows
+	// across the full width of a bank). Together with Column faults it
+	// produces the ~5200-row peak of the paper's Figure 17.
+	SubArray
+	// Bank is a complete single-bank failure.
+	Bank
+	// DataTSV is a faulty data TSV: a strided set of bit positions in every
+	// line of every bank of the channel (die).
+	DataTSV
+	// AddrTSV is a faulty address TSV: half of the rows of every bank in
+	// the channel become unreachable.
+	AddrTSV
+	numClasses
+)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case Bit:
+		return "bit"
+	case Word:
+		return "word"
+	case Column:
+		return "column"
+	case Row:
+		return "row"
+	case SubArray:
+		return "subarray"
+	case Bank:
+		return "bank"
+	case DataTSV:
+		return "data-tsv"
+	case AddrTSV:
+		return "addr-tsv"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// IsTSV reports whether the class is a TSV fault mode.
+func (c Class) IsTSV() bool { return c == DataTSV || c == AddrTSV }
+
+// Persistence distinguishes transient (scrubbed away once corrected) from
+// permanent faults.
+type Persistence int
+
+const (
+	// Transient faults disappear at the next scrub if correctable.
+	Transient Persistence = iota
+	// Permanent faults persist for the device lifetime unless spared.
+	Permanent
+)
+
+// String returns "transient" or "permanent".
+func (p Persistence) String() string {
+	if p == Transient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// Region is a fault footprint within one stack: the cartesian product of
+// pattern sets over dies, banks, rows, and bit-columns within a row.
+type Region struct {
+	Stack int
+	Die   Pattern
+	Bank  Pattern
+	Row   Pattern
+	Col   Pattern // bit position within the row, [0, RowBytes*8)
+}
+
+// Overlaps reports whether two footprints share at least one cell.
+func (r Region) Overlaps(s Region) bool {
+	return r.Stack == s.Stack &&
+		r.Die.Intersects(s.Die) &&
+		r.Bank.Intersects(s.Bank) &&
+		r.Row.Intersects(s.Row) &&
+		r.Col.Intersects(s.Col)
+}
+
+// ContainsCell reports whether the footprint covers the given cell.
+func (r Region) ContainsCell(stackIdx, die, bank, row, col int) bool {
+	return r.Stack == stackIdx &&
+		r.Die.Contains(uint32(die)) &&
+		r.Bank.Contains(uint32(bank)) &&
+		r.Row.Contains(uint32(row)) &&
+		r.Col.Contains(uint32(col))
+}
+
+// Fault is one fault event.
+type Fault struct {
+	Class       Class
+	Persistence Persistence
+	Hours       float64 // arrival time since start of life
+	Region      Region
+	TSV         int // TSV index for DataTSV/AddrTSV faults
+}
+
+// String renders the fault for logs.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s/%s@%.0fh stack=%d", f.Class, f.Persistence, f.Hours, f.Region.Stack)
+}
+
+// Rates holds failure rates in FIT (failures per 10^9 device-hours), one
+// rate per (class, persistence) pair, expressed per die. TSV rates are per
+// die (channel) and always permanent.
+type Rates struct {
+	BitTransient, BitPermanent       float64
+	WordTransient, WordPermanent     float64
+	ColumnTransient, ColumnPermanent float64
+	RowTransient, RowPermanent       float64
+	BankTransient, BankPermanent     float64
+	// TSVPerDie is the total TSV FIT per die; events split between data and
+	// address TSVs in proportion to their counts. The paper sweeps this from
+	// 14 to 1430 FIT because field data is unavailable.
+	TSVPerDie float64
+	// SubArrayFraction is the portion of permanent bank-class events that
+	// are sub-array failures rather than full-bank failures (drives the
+	// 5200-row peak in Figure 17).
+	SubArrayFraction float64
+	// SubArrayRows is the number of rows in one sub-array.
+	SubArrayRows int
+}
+
+// Sridharan1Gb returns the per-chip FIT rates for 1 Gb DRAM devices from
+// the field study the paper builds on.
+func Sridharan1Gb() Rates {
+	return Rates{
+		BitTransient: 14.2, BitPermanent: 18.6,
+		WordTransient: 1.4, WordPermanent: 0.3,
+		ColumnTransient: 1.4, ColumnPermanent: 5.6,
+		RowTransient: 0.2, RowPermanent: 8.2,
+		BankTransient: 0.8, BankPermanent: 10.0,
+		SubArrayFraction: 0.21,
+		SubArrayRows:     5200,
+	}
+}
+
+// ScaleTo8Gb applies the paper's 1 Gb → 8 Gb scaling rules (§III-A): bit and
+// word rates scale with capacity (8x), row rates with the number of rows
+// (4x), column rates with column-decoder size (1.9x), and bank rates with
+// the number of sub-arrays (8x).
+func ScaleTo8Gb(r Rates) Rates {
+	out := r
+	out.BitTransient *= 8
+	out.BitPermanent *= 8
+	out.WordTransient *= 8
+	out.WordPermanent *= 8
+	out.ColumnTransient *= 1.9
+	out.ColumnPermanent *= 1.9
+	out.RowTransient *= 4
+	out.RowPermanent *= 4
+	out.BankTransient *= 8
+	out.BankPermanent *= 8
+	return out
+}
+
+// ScalePerDoubling extrapolates the paper's 1 Gb -> 8 Gb scaling rules
+// (§III-A) to further density doublings: bit/word/bank rates scale with
+// capacity (2x per doubling), row rates with the row count (4x per three
+// doublings, i.e. 4^(1/3) each), and column rates with decoder size
+// (1.9^(1/3) each). Used for the density-sensitivity ablation: the paper's
+// motivation is that stacked DRAM will keep densifying.
+func ScalePerDoubling(r Rates, doublings int) Rates {
+	out := r
+	capF := math.Pow(2, float64(doublings))
+	rowF := math.Pow(4, float64(doublings)/3)
+	colF := math.Pow(1.9, float64(doublings)/3)
+	out.BitTransient *= capF
+	out.BitPermanent *= capF
+	out.WordTransient *= capF
+	out.WordPermanent *= capF
+	out.BankTransient *= capF
+	out.BankPermanent *= capF
+	out.RowTransient *= rowF
+	out.RowPermanent *= rowF
+	out.ColumnTransient *= colF
+	out.ColumnPermanent *= colF
+	return out
+}
+
+// Table1 returns the paper's Table I rates for 8 Gb dies with no TSV
+// faults; set TSVPerDie for the sweep configurations.
+func Table1() Rates {
+	return Rates{
+		BitTransient: 113.6, BitPermanent: 148.8,
+		WordTransient: 11.2, WordPermanent: 2.4,
+		ColumnTransient: 2.6, ColumnPermanent: 10.5,
+		RowTransient: 0.8, RowPermanent: 32.8,
+		BankTransient: 6.4, BankPermanent: 80,
+		SubArrayFraction: 0.21,
+		SubArrayRows:     5200,
+	}
+}
+
+// WithTSV returns a copy of r with the given per-die TSV FIT rate.
+func (r Rates) WithTSV(fit float64) Rates {
+	r.TSVPerDie = fit
+	return r
+}
+
+// TotalPerDie returns the sum of all per-die FIT rates, including TSV.
+func (r Rates) TotalPerDie() float64 {
+	return r.BitTransient + r.BitPermanent +
+		r.WordTransient + r.WordPermanent +
+		r.ColumnTransient + r.ColumnPermanent +
+		r.RowTransient + r.RowPermanent +
+		r.BankTransient + r.BankPermanent +
+		r.TSVPerDie
+}
+
+// HoursPerYear is the conversion used throughout (365.25-day years).
+const HoursPerYear = 24 * 365.25
+
+// LifetimeHours is the paper's seven-year evaluation lifetime.
+const LifetimeHours = 7 * HoursPerYear
+
+// classRate returns the FIT rate for a (class, persistence) pair. SubArray
+// and Bank share the bank-class budget via SubArrayFraction.
+func (r Rates) classRate(c Class, p Persistence) float64 {
+	switch c {
+	case Bit:
+		if p == Transient {
+			return r.BitTransient
+		}
+		return r.BitPermanent
+	case Word:
+		if p == Transient {
+			return r.WordTransient
+		}
+		return r.WordPermanent
+	case Column:
+		if p == Transient {
+			return r.ColumnTransient
+		}
+		return r.ColumnPermanent
+	case Row:
+		if p == Transient {
+			return r.RowTransient
+		}
+		return r.RowPermanent
+	case SubArray:
+		if p == Transient {
+			return r.BankTransient * r.SubArrayFraction
+		}
+		return r.BankPermanent * r.SubArrayFraction
+	case Bank:
+		if p == Transient {
+			return r.BankTransient * (1 - r.SubArrayFraction)
+		}
+		return r.BankPermanent * (1 - r.SubArrayFraction)
+	case DataTSV, AddrTSV:
+		// Handled jointly: TSV events are always permanent and split by
+		// TSV population; see Sampler.
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Sampler draws fault lifetimes for a whole memory system.
+type Sampler struct {
+	cfg   stack.Config
+	rates Rates
+	// dies counts fault-bearing dies per stack: data dies plus ECC dies
+	// (the metadata die fails like any other die).
+	diesPerStack int
+}
+
+// NewSampler builds a sampler for the given geometry and rates.
+func NewSampler(cfg stack.Config, rates Rates) *Sampler {
+	return &Sampler{cfg: cfg, rates: rates, diesPerStack: cfg.DataDies + cfg.ECCDies}
+}
+
+// Rates returns the sampler's rates.
+func (s *Sampler) Rates() Rates { return s.rates }
+
+// Config returns the sampler's geometry.
+func (s *Sampler) Config() stack.Config { return s.cfg }
+
+// poisson draws a Poisson(lambda) variate (Knuth's method; lambda is small
+// — well below 1 per class for realistic FIT rates).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// SampleLifetime draws all fault events for the system over the given
+// number of hours, sorted by arrival time.
+func (s *Sampler) SampleLifetime(rng *rand.Rand, hours float64) []Fault {
+	var faults []Fault
+	nDies := float64(s.cfg.Stacks * s.diesPerStack)
+	add := func(c Class, p Persistence, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		lambda := rate * 1e-9 * hours * nDies
+		n := poisson(rng, lambda)
+		for i := 0; i < n; i++ {
+			f := s.place(rng, c, p)
+			f.Hours = rng.Float64() * hours
+			faults = append(faults, f)
+		}
+	}
+	for c := Bit; c <= Bank; c++ {
+		add(c, Transient, s.rates.classRate(c, Transient))
+		add(c, Permanent, s.rates.classRate(c, Permanent))
+	}
+	// TSV events: permanent, split data/address by TSV population.
+	if s.rates.TSVPerDie > 0 {
+		lambda := s.rates.TSVPerDie * 1e-9 * hours * float64(s.cfg.Stacks*s.cfg.DataDies)
+		n := poisson(rng, lambda)
+		for i := 0; i < n; i++ {
+			total := s.cfg.DataTSVs + s.cfg.AddrTSVs
+			var f Fault
+			if rng.Intn(total) < s.cfg.DataTSVs {
+				f = s.place(rng, DataTSV, Permanent)
+			} else {
+				f = s.place(rng, AddrTSV, Permanent)
+			}
+			f.Hours = rng.Float64() * hours
+			faults = append(faults, f)
+		}
+	}
+	sortByTime(faults)
+	return faults
+}
+
+// place chooses a uniformly random location for a fault of class c and
+// builds its footprint.
+func (s *Sampler) place(rng *rand.Rand, c Class, p Persistence) Fault {
+	cfg := s.cfg
+	stk := rng.Intn(cfg.Stacks)
+	die := rng.Intn(s.diesPerStack) // may land on the metadata die
+	bank := rng.Intn(cfg.BanksPerDie)
+	row := rng.Intn(cfg.RowsPerBank)
+	rowBits := uint32(cfg.RowBytes * 8)
+	f := Fault{Class: c, Persistence: p}
+	reg := Region{
+		Stack: stk,
+		Die:   ExactPattern(uint32(die)),
+		Bank:  ExactPattern(uint32(bank)),
+		Row:   ExactPattern(uint32(row)),
+		Col:   AllPattern(),
+	}
+	switch c {
+	case Bit:
+		reg.Col = ExactPattern(uint32(rng.Intn(int(rowBits))))
+	case Word:
+		words := int(rowBits) / 64
+		start := uint32(rng.Intn(words)) * 64
+		reg.Col = MaskPattern(^uint32(63), start)
+	case Column:
+		// One bit-column across all rows of one sub-array.
+		reg.Col = ExactPattern(uint32(rng.Intn(int(rowBits))))
+		reg.Row = s.subArrayRows(rng)
+	case Row:
+		// Footprint already a single full row.
+	case SubArray:
+		reg.Row = s.subArrayRows(rng)
+	case Bank:
+		reg.Row = AllPattern()
+	case DataTSV:
+		f.TSV = rng.Intn(cfg.DataTSVs)
+		reg.Bank = AllPattern()
+		reg.Row = AllPattern()
+		// Bits q of each line with q mod DataTSVs == t; since lines tile the
+		// row and line bits are a multiple of DataTSVs, the row-level bit
+		// position obeys the same congruence.
+		reg.Col = MaskPattern(uint32(cfg.DataTSVs-1), uint32(f.TSV))
+	case AddrTSV:
+		f.TSV = rng.Intn(cfg.AddrTSVs)
+		reg.Bank = AllPattern()
+		// A broken row-address bit makes one half-space unreachable.
+		rowAddrBits := bitsFor(cfg.RowsPerBank)
+		k := uint(rng.Intn(rowAddrBits))
+		v := uint32(rng.Intn(2)) << k
+		reg.Row = MaskPattern(1<<k, v)
+	}
+	f.Region = reg
+	return f
+}
+
+// subArrayRows returns the row pattern of a random sub-array.
+func (s *Sampler) subArrayRows(rng *rand.Rand) Pattern {
+	n := s.rates.SubArrayRows
+	if n <= 0 || n >= s.cfg.RowsPerBank {
+		return AllPattern()
+	}
+	count := s.cfg.RowsPerBank / n
+	if count == 0 {
+		count = 1
+	}
+	start := uint32(rng.Intn(count)) * uint32(n)
+	return RangePattern(start, start+uint32(n))
+}
+
+// bitsFor returns the number of address bits needed for n values.
+func bitsFor(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// sortByTime sorts faults by arrival hour (insertion sort; fault lists are
+// short — a handful of events per lifetime).
+func sortByTime(fs []Fault) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Hours < fs[j-1].Hours; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// RowsNeedingSparing returns how many rows of one bank the footprint
+// covers, assuming the footprint touches that bank (Figure 17's metric).
+func (f Fault) RowsNeedingSparing(cfg stack.Config) int {
+	return f.Region.Row.CountBelow(uint32(cfg.RowsPerBank))
+}

@@ -1,0 +1,84 @@
+package faultsim
+
+import (
+	"math"
+
+	"repro/internal/fault"
+)
+
+// AdaptiveOptions controls a failure-count-targeted run: trials are added
+// in batches until at least TargetFailures failures are observed (tight
+// relative confidence) or MaxTrials is reached. This is how the paper runs
+// "more trials for schemes that show lower failure rates, to improve
+// accuracy" (§III-B).
+type AdaptiveOptions struct {
+	Options
+	// TargetFailures is the failure count to accumulate (default 100,
+	// giving ~±20% relative CI at 95%).
+	TargetFailures int
+	// MaxTrials bounds the total work (default 10x Options.Trials).
+	MaxTrials int
+	// BatchTrials is the step size (default Options.Trials).
+	BatchTrials int
+}
+
+// withDefaults fills zero fields.
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	o.Options = o.Options.withDefaults()
+	if o.TargetFailures == 0 {
+		o.TargetFailures = 100
+	}
+	if o.BatchTrials == 0 {
+		o.BatchTrials = o.Options.Trials
+	}
+	if o.MaxTrials == 0 {
+		o.MaxTrials = 10 * o.Options.Trials
+	}
+	return o
+}
+
+// Merge combines two independent runs of the same policy.
+func Merge(a, b Result) Result {
+	out := a
+	out.Trials += b.Trials
+	out.Failures += b.Failures
+	if len(b.FailuresByYear) == len(a.FailuresByYear) {
+		out.FailuresByYear = append([]int(nil), a.FailuresByYear...)
+		for i := range b.FailuresByYear {
+			out.FailuresByYear[i] += b.FailuresByYear[i]
+		}
+	}
+	out.CauseCounts = make(map[string]int, len(a.CauseCounts)+len(b.CauseCounts))
+	for k, v := range a.CauseCounts {
+		out.CauseCounts[k] += v
+	}
+	for k, v := range b.CauseCounts {
+		out.CauseCounts[k] += v
+	}
+	return out
+}
+
+// RunAdaptive accumulates trials in batches until the failure target or
+// the trial cap is hit. Batches use distinct seeds derived from the base
+// seed, so results remain reproducible.
+func RunAdaptive(opt AdaptiveOptions, pol Policy) Result {
+	opt = opt.withDefaults()
+	var total Result
+	total.Policy = pol.name()
+	years := int(math.Ceil(opt.LifetimeHours / fault.HoursPerYear))
+	total.FailuresByYear = make([]int, years)
+	batch := 0
+	for total.Trials < opt.MaxTrials && total.Failures < opt.TargetFailures {
+		bo := opt.Options
+		bo.Trials = opt.BatchTrials
+		if remaining := opt.MaxTrials - total.Trials; bo.Trials > remaining {
+			bo.Trials = remaining
+		}
+		bo.Seed = opt.Seed + int64(batch)*1e6
+		r := Run(bo, pol)
+		total = Merge(total, r)
+		total.Policy = pol.name()
+		batch++
+	}
+	return total
+}

@@ -1,0 +1,170 @@
+package faultsim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/tsv"
+)
+
+// Census tallies the anatomy of permanent faults over device lifetimes,
+// reproducing the analyses behind the paper's Figure 17 (rows needed to
+// spare a faulty bank is bimodal) and Table III (number of failed banks in
+// systems with at least one).
+type Census struct {
+	Trials int
+	// RowsHistogram[n] counts faulty banks that would need n spare rows.
+	RowsHistogram map[int]int
+	// FailedBanksPerSystem[k] counts trials whose system ended with exactly
+	// k failed banks (banks needing more than FailedBankThreshold rows).
+	FailedBanksPerSystem map[int]int
+	// TrialsWithBankFailure counts trials with at least one failed bank.
+	TrialsWithBankFailure int
+	// FailedBankThreshold is the DDS escalation rule (paper: 4 rows).
+	FailedBankThreshold int
+}
+
+// FaultyBankTotal returns the total number of faulty banks observed.
+func (c Census) FaultyBankTotal() int {
+	total := 0
+	for _, n := range c.RowsHistogram {
+		total += n
+	}
+	return total
+}
+
+// RowsPercent returns the percentage of faulty banks needing exactly n
+// spare rows.
+func (c Census) RowsPercent(n int) float64 {
+	total := c.FaultyBankTotal()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.RowsHistogram[n]) / float64(total)
+}
+
+// FailedBanksPercent returns the Table-III distribution: the percentage of
+// bank-failure systems having exactly k failed banks (k>=3 aggregates into
+// the last bucket when aggregate3Plus is true).
+func (c Census) FailedBanksPercent(k int, aggregate3Plus bool) float64 {
+	if c.TrialsWithBankFailure == 0 {
+		return 0
+	}
+	count := 0
+	if aggregate3Plus && k >= 3 {
+		for kk, n := range c.FailedBanksPerSystem {
+			if kk >= 3 {
+				count += n
+			}
+		}
+	} else {
+		count = c.FailedBanksPerSystem[k]
+	}
+	return 100 * float64(count) / float64(c.TrialsWithBankFailure)
+}
+
+// SortedRowCounts returns the distinct row counts in ascending order.
+func (c Census) SortedRowCounts() []int {
+	keys := make([]int, 0, len(c.RowsHistogram))
+	for k := range c.RowsHistogram {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// RunCensus simulates lifetimes and tallies permanent-fault anatomy.
+// useTSVSwap filters TSV faults through TSV-SWAP first, as the DDS analysis
+// assumes (paper §V-D: "all systems employ TSV-Swap for the remainder").
+func RunCensus(opt Options, useTSVSwap bool) Census {
+	opt = opt.withDefaults()
+	c := Census{
+		Trials:               opt.Trials,
+		RowsHistogram:        make(map[int]int),
+		FailedBanksPerSystem: make(map[int]int),
+		FailedBankThreshold:  4,
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := (opt.Trials + opt.Workers - 1) / opt.Workers
+	for w := 0; w < opt.Workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > opt.Trials {
+			hi = opt.Trials
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(worker)*1e9))
+			sampler := fault.NewSampler(opt.Config, opt.Rates)
+			rowsHist := make(map[int]int)
+			failedHist := make(map[int]int)
+			withFailure := 0
+			dies := opt.Config.DataDies + opt.Config.ECCDies
+			for t := 0; t < n; t++ {
+				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
+				var swapper *tsv.Swapper
+				if useTSVSwap {
+					swapper = tsv.NewSwapper(opt.Config)
+				}
+				// rows needed per bank, keyed by dense bank id incl. the
+				// metadata die.
+				perBank := map[int]int{}
+				for _, f := range fs {
+					if f.Persistence != fault.Permanent {
+						continue
+					}
+					if swapper != nil && f.Class.IsTSV() {
+						if _, repaired := swapper.Apply(f); repaired {
+							continue
+						}
+					}
+					rows := f.RowsNeedingSparing(opt.Config)
+					for die := 0; die < dies; die++ {
+						if !f.Region.Die.Contains(uint32(die)) {
+							continue
+						}
+						for bank := 0; bank < opt.Config.BanksPerDie; bank++ {
+							if !f.Region.Bank.Contains(uint32(bank)) {
+								continue
+							}
+							id := (f.Region.Stack*dies+die)*opt.Config.BanksPerDie + bank
+							perBank[id] += rows
+							if perBank[id] > opt.Config.RowsPerBank {
+								perBank[id] = opt.Config.RowsPerBank
+							}
+						}
+					}
+				}
+				failed := 0
+				for _, rows := range perBank {
+					rowsHist[rows]++
+					if rows > c.FailedBankThreshold {
+						failed++
+					}
+				}
+				if failed > 0 {
+					withFailure++
+					failedHist[failed]++
+				}
+			}
+			mu.Lock()
+			for k, v := range rowsHist {
+				c.RowsHistogram[k] += v
+			}
+			for k, v := range failedHist {
+				c.FailedBanksPerSystem[k] += v
+			}
+			c.TrialsWithBankFailure += withFailure
+			mu.Unlock()
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	return c
+}

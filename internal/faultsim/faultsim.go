@@ -1,0 +1,316 @@
+// Package faultsim is a FaultSim-style Monte Carlo lifetime simulator for
+// stacked-memory protection schemes (the paper's reliability methodology,
+// §III-B): fault events arrive as Poisson processes at the Table-I FIT
+// rates, a scrubber runs every 12 hours, and each scheme's correctability
+// predicate classifies the accumulated fault state after every arrival. A
+// trial fails at the first uncorrectable state; the probability of system
+// failure over a 7-year lifetime is estimated across 10^5–10^6 independent
+// trials, parallelized across workers with per-worker deterministic RNG
+// streams.
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/ecc"
+	"repro/internal/fault"
+	"repro/internal/stack"
+	"repro/internal/tsv"
+)
+
+// DefaultScrubIntervalHours is the paper's 12-hour scrub interval.
+const DefaultScrubIntervalHours = 12
+
+// Sparer redirects corrected permanent faults to spare storage (DDS).
+type Sparer interface {
+	// Offer hands over a corrected permanent fault; it returns whether the
+	// fault is now spared plus indices into live of other faults spared as
+	// a side effect.
+	Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedLive []int)
+}
+
+// Policy is a complete protection configuration to simulate.
+type Policy struct {
+	// Name appears in reports; defaults to the predicate's name.
+	Name string
+	// Predicate decides correctability of the live fault set.
+	Predicate ecc.Predicate
+	// UseTSVSwap enables TSV-SWAP repair of TSV fault arrivals.
+	UseTSVSwap bool
+	// TSVStandbyPool overrides the stand-by TSV count per channel
+	// (0 = the paper's default of 4).
+	TSVStandbyPool int
+	// NewSparer, when non-nil, constructs per-trial sparing state (DDS).
+	NewSparer func(cfg stack.Config) Sparer
+}
+
+// name returns the effective policy name.
+func (p Policy) name() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.Predicate.Name()
+}
+
+// Options configures a Monte Carlo run.
+type Options struct {
+	Config             stack.Config
+	Rates              fault.Rates
+	Trials             int
+	LifetimeHours      float64 // default: fault.LifetimeHours (7 years)
+	ScrubIntervalHours float64 // default: 12
+	Seed               int64
+	Workers            int // default: GOMAXPROCS
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.LifetimeHours == 0 {
+		o.LifetimeHours = fault.LifetimeHours
+	}
+	if o.ScrubIntervalHours == 0 {
+		o.ScrubIntervalHours = DefaultScrubIntervalHours
+	}
+	if o.Trials == 0 {
+		o.Trials = 100000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result summarizes a Monte Carlo run.
+type Result struct {
+	Policy   string
+	Trials   int
+	Failures int
+	// FailuresByYear[y] counts trials that failed within the first y+1
+	// years (cumulative).
+	FailuresByYear []int
+	// CauseCounts tallies, per failing trial, the class of the fault whose
+	// arrival made the state uncorrectable — the proximate cause.
+	CauseCounts map[string]int
+}
+
+// Probability returns the estimated probability of system failure over the
+// full lifetime.
+func (r Result) Probability() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Trials)
+}
+
+// ProbabilityByYear returns the cumulative failure probability by the end
+// of year y (1-based).
+func (r Result) ProbabilityByYear(y int) float64 {
+	if r.Trials == 0 || y < 1 || y > len(r.FailuresByYear) {
+		return 0
+	}
+	return float64(r.FailuresByYear[y-1]) / float64(r.Trials)
+}
+
+// CI95 returns the half-width of the 95% confidence interval on
+// Probability (normal approximation).
+func (r Result) CI95() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	p := r.Probability()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(r.Trials))
+}
+
+// String renders the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: P(fail,7y) = %.3g ± %.2g (%d/%d trials)",
+		r.Policy, r.Probability(), r.CI95(), r.Failures, r.Trials)
+}
+
+// trialState holds the per-trial simulation state.
+type trialState struct {
+	cfg       stack.Config
+	pol       Policy
+	scrub     float64
+	swapper   *tsv.Swapper
+	sparer    Sparer
+	livePerm  []fault.Fault
+	liveTrans []fault.Fault
+	lastScrub int
+	scratch   []fault.Fault
+}
+
+func newTrialState(cfg stack.Config, pol Policy, scrub float64) *trialState {
+	ts := &trialState{cfg: cfg, pol: pol, scrub: scrub}
+	ts.reset()
+	return ts
+}
+
+func (ts *trialState) reset() {
+	if ts.pol.UseTSVSwap {
+		if ts.pol.TSVStandbyPool > 0 {
+			ts.swapper = tsv.NewSwapperWithPool(ts.cfg, ts.pol.TSVStandbyPool)
+		} else {
+			ts.swapper = tsv.NewSwapper(ts.cfg)
+		}
+	} else {
+		ts.swapper = nil
+	}
+	if ts.pol.NewSparer != nil {
+		ts.sparer = ts.pol.NewSparer(ts.cfg)
+	} else {
+		ts.sparer = nil
+	}
+	ts.livePerm = ts.livePerm[:0]
+	ts.liveTrans = ts.liveTrans[:0]
+	ts.lastScrub = 0
+}
+
+// doScrub clears correctable transients and offers permanent faults to the
+// sparer. Offers repeat until a full pass spares nothing, because sparing
+// one fault (e.g. escalating a bank) can spare co-resident faults too.
+func (ts *trialState) doScrub() {
+	ts.liveTrans = ts.liveTrans[:0]
+	if ts.sparer == nil {
+		return
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(ts.livePerm); i++ {
+			spared, extra := ts.sparer.Offer(ts.livePerm[i], ts.livePerm)
+			if !spared && len(extra) == 0 {
+				continue
+			}
+			drop := make(map[int]bool, len(extra)+1)
+			for _, e := range extra {
+				drop[e] = true
+			}
+			if spared {
+				drop[i] = true
+			}
+			kept := ts.livePerm[:0]
+			for j, f := range ts.livePerm {
+				if !drop[j] {
+					kept = append(kept, f)
+				}
+			}
+			ts.livePerm = kept
+			changed = true
+			break // indices shifted; rescan
+		}
+	}
+}
+
+// liveFaults rebuilds the scratch slice of all live faults.
+func (ts *trialState) liveFaults() []fault.Fault {
+	ts.scratch = ts.scratch[:0]
+	ts.scratch = append(ts.scratch, ts.livePerm...)
+	ts.scratch = append(ts.scratch, ts.liveTrans...)
+	return ts.scratch
+}
+
+// run executes one trial; it returns the failure time in hours (negative
+// when the system survives) and the proximate cause — the class of the
+// fault whose arrival made the state uncorrectable.
+func (ts *trialState) run(faults []fault.Fault) (float64, fault.Class) {
+	ts.reset()
+	for _, f := range faults {
+		scrubIdx := int(f.Hours / ts.scrub)
+		if scrubIdx > ts.lastScrub {
+			ts.doScrub()
+			ts.lastScrub = scrubIdx
+		}
+		if ts.swapper != nil && f.Class.IsTSV() {
+			if _, repaired := ts.swapper.Apply(f); repaired {
+				continue
+			}
+		}
+		if f.Persistence == fault.Permanent {
+			ts.livePerm = append(ts.livePerm, f)
+		} else {
+			ts.liveTrans = append(ts.liveTrans, f)
+		}
+		if ts.pol.Predicate.Uncorrectable(ts.liveFaults()) {
+			return f.Hours, f.Class
+		}
+	}
+	return -1, 0
+}
+
+// Run estimates the failure probability of a policy.
+func Run(opt Options, pol Policy) Result {
+	opt = opt.withDefaults()
+	years := int(math.Ceil(opt.LifetimeHours / fault.HoursPerYear))
+	res := Result{
+		Policy:         pol.name(),
+		Trials:         opt.Trials,
+		FailuresByYear: make([]int, years),
+		CauseCounts:    make(map[string]int),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := (opt.Trials + opt.Workers - 1) / opt.Workers
+	for w := 0; w < opt.Workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > opt.Trials {
+			hi = opt.Trials
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(worker)*1e9))
+			sampler := fault.NewSampler(opt.Config, opt.Rates)
+			ts := newTrialState(opt.Config, pol, opt.ScrubIntervalHours)
+			failures := 0
+			byYear := make([]int, years)
+			causes := make(map[string]int)
+			for t := 0; t < n; t++ {
+				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
+				if len(fs) == 0 {
+					continue
+				}
+				when, cause := ts.run(fs)
+				if when >= 0 {
+					failures++
+					causes[cause.String()]++
+					y := int(when / fault.HoursPerYear)
+					if y >= years {
+						y = years - 1
+					}
+					for i := y; i < years; i++ {
+						byYear[i]++
+					}
+				}
+			}
+			mu.Lock()
+			res.Failures += failures
+			for i := range byYear {
+				res.FailuresByYear[i] += byYear[i]
+			}
+			for k, v := range causes {
+				res.CauseCounts[k] += v
+			}
+			mu.Unlock()
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	return res
+}
+
+// RunAll evaluates several policies under the same options. Each policy
+// sees an identical fault stream seed, making comparisons paired.
+func RunAll(opt Options, pols []Policy) []Result {
+	out := make([]Result, len(pols))
+	for i, p := range pols {
+		out[i] = Run(opt, p)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8) with the
+// primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D), the field used by the
+// symbol-based (ChipKill-like) codes Citadel compares against.
+package gf256
+
+// PrimitivePoly is the field's primitive polynomial in binary representation.
+const PrimitivePoly = 0x11D
+
+var (
+	expTable [512]byte // alpha^i for i in [0,510]; doubled to avoid mod 255
+	logTable [256]byte // log_alpha(x) for x != 0
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= PrimitivePoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a+b in GF(2^8) (XOR; addition and subtraction coincide).
+func Add(a, b byte) byte { return a ^ b }
+
+// Exp returns alpha^i where alpha is the primitive element. i may be any
+// non-negative integer.
+func Exp(i int) byte { return expTable[i%255] }
+
+// Log returns log_alpha(a). It panics if a == 0, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8). It panics if b == 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Pow returns a^n. a == 0 yields 0 for n > 0 and 1 for n == 0.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*n)%255]
+}
+
+// Poly is a polynomial over GF(2^8), lowest-degree coefficient first:
+// p[0] + p[1]x + p[2]x^2 + ...
+type Poly []byte
+
+// Degree returns the degree of p (-1 for the zero polynomial).
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trim returns p without trailing zero coefficients.
+func (p Poly) Trim() Poly { return p[:p.Degree()+1] }
+
+// Eval evaluates p at x using Horner's method.
+func (p Poly) Eval(x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = Mul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// PolyAdd returns a+b.
+func PolyAdd(a, b Poly) Poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Poly, n)
+	copy(out, a)
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return out
+}
+
+// PolyMul returns a*b.
+func PolyMul(a, b Poly) Poly {
+	if len(a) == 0 || len(b) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ac := range a {
+		if ac == 0 {
+			continue
+		}
+		for j, bc := range b {
+			out[i+j] ^= Mul(ac, bc)
+		}
+	}
+	return out
+}
+
+// PolyScale returns p multiplied by the scalar s.
+func PolyScale(p Poly, s byte) Poly {
+	out := make(Poly, len(p))
+	for i, c := range p {
+		out[i] = Mul(c, s)
+	}
+	return out
+}
+
+// PolyMod returns the remainder of a divided by b. It panics if b is zero.
+func PolyMod(a, b Poly) Poly {
+	_, rem := PolyDivMod(a, b)
+	return rem
+}
+
+// PolyDivMod returns the quotient and remainder of a divided by b, with
+// deg(rem) < deg(b). It panics if b is the zero polynomial.
+func PolyDivMod(a, b Poly) (quot, rem Poly) {
+	db := b.Degree()
+	if db < 0 {
+		panic("gf256: polynomial division by zero")
+	}
+	rem = make(Poly, len(a))
+	copy(rem, a)
+	qLen := len(a) - db
+	if qLen < 1 {
+		qLen = 1
+	}
+	quot = make(Poly, qLen)
+	lead := b[db]
+	for d := rem.Degree(); d >= db; d = rem.Degree() {
+		coef := Div(rem[d], lead)
+		quot[d-db] = coef
+		for i := 0; i <= db; i++ {
+			rem[d-db+i] ^= Mul(coef, b[i])
+		}
+	}
+	if len(rem) > db {
+		rem = rem[:db]
+	}
+	return quot, rem
+}
+
+// FormalDerivative returns p'(x). In characteristic 2 the even-power terms
+// vanish.
+func FormalDerivative(p Poly) Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package gf2m implements arithmetic over binary extension fields GF(2^m)
+// for 2 <= m <= 16, parameterized by primitive polynomial — the fields BCH
+// codes for long cache lines need (GF(2^10) covers 512-bit blocks).
+// Package gf256 is the fixed m=8 special case used by the Reed-Solomon
+// codec; this package trades a little speed for generality.
+package gf2m
+
+import "fmt"
+
+// defaultPolys maps m to a primitive polynomial (binary representation,
+// including the x^m term).
+var defaultPolys = map[int]int{
+	2:  0x7,     // x^2+x+1
+	3:  0xB,     // x^3+x+1
+	4:  0x13,    // x^4+x+1
+	5:  0x25,    // x^5+x^2+1
+	6:  0x43,    // x^6+x+1
+	7:  0x89,    // x^7+x^3+1
+	8:  0x11D,   // x^8+x^4+x^3+x^2+1
+	9:  0x211,   // x^9+x^4+1
+	10: 0x409,   // x^10+x^3+1
+	11: 0x805,   // x^11+x^2+1
+	12: 0x1053,  // x^12+x^6+x^4+x+1
+	13: 0x201B,  // x^13+x^4+x^3+x+1
+	14: 0x4443,  // x^14+x^10+x^6+x+1
+	15: 0x8003,  // x^15+x+1
+	16: 0x1100B, // x^16+x^12+x^3+x+1
+}
+
+// Field is GF(2^m) with log/antilog tables.
+type Field struct {
+	m    int
+	n    int // 2^m - 1, the multiplicative order
+	exp  []uint32
+	logt []int
+}
+
+// New builds GF(2^m) with the default primitive polynomial for m.
+func New(m int) (*Field, error) {
+	poly, ok := defaultPolys[m]
+	if !ok {
+		return nil, fmt.Errorf("gf2m: no default polynomial for m=%d (want 2..16)", m)
+	}
+	return NewWithPoly(m, poly)
+}
+
+// NewWithPoly builds GF(2^m) from an explicit primitive polynomial.
+func NewWithPoly(m, poly int) (*Field, error) {
+	if m < 2 || m > 16 {
+		return nil, fmt.Errorf("gf2m: m=%d out of range [2,16]", m)
+	}
+	n := (1 << uint(m)) - 1
+	f := &Field{
+		m:    m,
+		n:    n,
+		exp:  make([]uint32, 2*n),
+		logt: make([]int, n+1),
+	}
+	x := 1
+	for i := 0; i < n; i++ {
+		if x == 1 && i != 0 {
+			return nil, fmt.Errorf("gf2m: polynomial %#x is not primitive for m=%d", poly, m)
+		}
+		f.exp[i] = uint32(x)
+		f.logt[x] = i
+		x <<= 1
+		if x&(1<<uint(m)) != 0 {
+			x ^= poly
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		f.exp[i] = f.exp[i-n]
+	}
+	return f, nil
+}
+
+// M returns the extension degree.
+func (f *Field) M() int { return f.m }
+
+// Order returns 2^m - 1.
+func (f *Field) Order() int { return f.n }
+
+// Exp returns alpha^i.
+func (f *Field) Exp(i int) uint32 {
+	i %= f.n
+	if i < 0 {
+		i += f.n
+	}
+	return f.exp[i]
+}
+
+// Log returns log_alpha(a); it panics on zero.
+func (f *Field) Log(a uint32) int {
+	if a == 0 {
+		panic("gf2m: log of zero")
+	}
+	return f.logt[a]
+}
+
+// Mul multiplies two field elements.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.logt[a]+f.logt[b]]
+}
+
+// Div divides a by b; it panics on b == 0.
+func (f *Field) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("gf2m: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[f.logt[a]+f.n-f.logt[b]]
+}
+
+// Inv returns the multiplicative inverse; it panics on zero.
+func (f *Field) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("gf2m: inverse of zero")
+	}
+	return f.exp[f.n-f.logt[a]]
+}
+
+// Pow returns a^k.
+func (f *Field) Pow(a uint32, k int) uint32 {
+	if k == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	e := (f.logt[a] * k) % f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}
+
+// MinimalPolynomial returns the minimal polynomial over GF(2) of alpha^i,
+// as a binary-coefficient polynomial (bit k = coefficient of x^k). The
+// conjugacy class of alpha^i is {alpha^(i*2^j)}.
+func (f *Field) MinimalPolynomial(i int) uint64 {
+	// Collect the conjugacy class.
+	seen := map[int]bool{}
+	e := i % f.n
+	for !seen[e] {
+		seen[e] = true
+		e = (e * 2) % f.n
+	}
+	// poly(x) = prod over class of (x - alpha^e), computed with
+	// field-element coefficients, then reduced to GF(2).
+	coeffs := []uint32{1} // leading coefficient first? use lowest-first
+	// lowest-degree-first: start with polynomial "1"
+	for e := range seen {
+		root := f.Exp(e)
+		// multiply coeffs by (x + root)
+		next := make([]uint32, len(coeffs)+1)
+		for k, c := range coeffs {
+			next[k+1] ^= c            // c * x
+			next[k] ^= f.Mul(c, root) // c * root
+		}
+		coeffs = next
+	}
+	var out uint64
+	for k, c := range coeffs {
+		if c > 1 {
+			panic(fmt.Sprintf("gf2m: minimal polynomial has non-binary coefficient %d", c))
+		}
+		if c == 1 {
+			out |= 1 << uint(k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package gf2m
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 2; m <= 16; m++ {
+		f, err := New(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if f.M() != m || f.Order() != (1<<uint(m))-1 {
+			t.Errorf("m=%d: wrong shape", m)
+		}
+	}
+	if _, err := New(1); err == nil {
+		t.Error("accepted m=1")
+	}
+	if _, err := New(17); err == nil {
+		t.Error("accepted m=17")
+	}
+	// A reducible polynomial must be rejected: x^4+1 = (x+1)^4.
+	if _, err := NewWithPoly(4, 0x11); err == nil {
+		t.Error("accepted non-primitive polynomial")
+	}
+}
+
+func TestGF2mMatchesGF256(t *testing.T) {
+	// m=8 with the same polynomial must agree with the dedicated gf256
+	// implementation's structure: alpha^i generates all 255 elements.
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 255; i++ {
+		seen[f.Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Errorf("alpha generates %d elements", len(seen))
+	}
+}
+
+func TestFieldAxiomsGF1024(t *testing.T) {
+	f, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(f.Order())
+	check := func(a, b, c uint32) bool {
+		a, b, c = a%n+1, b%n+1, c%n+1 // nonzero elements
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			return false
+		}
+		if f.Mul(a, f.Inv(a)) != 1 {
+			return false
+		}
+		if f.Div(f.Mul(a, b), b) != a {
+			return false
+		}
+		return f.Mul(a, b^c) == f.Mul(a, b)^f.Mul(a, c)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	f, _ := New(10)
+	for a := uint32(1); a < 50; a++ {
+		want := f.Mul(f.Mul(a, a), a)
+		if got := f.Pow(a, 3); got != want {
+			t.Fatalf("Pow(%d,3) = %d, want %d", a, got, want)
+		}
+	}
+	if f.Pow(0, 5) != 0 || f.Pow(0, 0) != 1 || f.Pow(7, 0) != 1 {
+		t.Error("Pow edge cases wrong")
+	}
+}
+
+func TestLogExpRoundTrip(t *testing.T) {
+	f, _ := New(10)
+	for i := 0; i < f.Order(); i++ {
+		if f.Log(f.Exp(i)) != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, f.Log(f.Exp(i)))
+		}
+	}
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	f, _ := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Log(0) did not panic")
+		}
+	}()
+	f.Log(0)
+}
+
+func TestMinimalPolynomialProperties(t *testing.T) {
+	f, _ := New(10)
+	for _, i := range []int{1, 2, 3, 5, 7, 11} {
+		mp := f.MinimalPolynomial(i)
+		// alpha^i must be a root: evaluate over the field.
+		var v uint32
+		root := f.Exp(i)
+		for k := 63; k >= 0; k-- {
+			v = f.Mul(v, root)
+			if mp>>uint(k)&1 == 1 {
+				v ^= 1
+			}
+		}
+		if v != 0 {
+			t.Errorf("alpha^%d is not a root of its minimal polynomial %#x", i, mp)
+		}
+		// Degree divides m.
+		deg := 63
+		for deg > 0 && mp>>uint(deg)&1 == 0 {
+			deg--
+		}
+		if 10%deg != 0 {
+			t.Errorf("minimal polynomial of alpha^%d has degree %d (must divide 10)", i, deg)
+		}
+	}
+	// Conjugates share a minimal polynomial: alpha and alpha^2.
+	if f.MinimalPolynomial(1) != f.MinimalPolynomial(2) {
+		t.Error("conjugates have different minimal polynomials")
+	}
+	// The minimal polynomial of alpha equals the field's primitive poly.
+	if f.MinimalPolynomial(1) != 0x409 {
+		t.Errorf("minimal polynomial of alpha = %#x, want 0x409", f.MinimalPolynomial(1))
+	}
+}

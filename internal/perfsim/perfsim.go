@@ -1,0 +1,371 @@
+// Package perfsim is the performance model behind the paper's Figures 5,
+// 15 and 16: a queueing simulation of the stacked memory system (channels,
+// banks, row buffers, shared channel buses) driven by the synthetic
+// per-benchmark request streams of internal/workload.
+//
+// Each request fans out to the banks selected by the striping layout
+// (internal/stack): Same-Bank touches one bank; Across-Banks touches every
+// bank of one channel, serializing slice bursts on that channel's bus;
+// Across-Channels forks to one bank in every channel and joins on the
+// slowest (the fork-join penalty plus whole-stack occupancy is what makes
+// it the slowest layout). Protection-scheme overheads — 3DP's
+// read-before-write and Dimension-1 parity traffic, with or without parity
+// caching — are injected as extra accesses.
+//
+// The model is calibrated for *relative* behaviour (normalized execution
+// time and normalized active power); absolute cycle counts are not meant to
+// match the authors' testbed.
+package perfsim
+
+import (
+	"math/rand"
+
+	"repro/internal/power"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Timing holds DRAM timing parameters in memory-bus clock cycles
+// (Table II: tWTR-tCAS-tRCD-tRP-tRAS = 7-9-9-9-36, 800 MHz bus).
+type Timing struct {
+	TWTR, TCAS, TRCD, TRP, TRAS int
+	// LineBurst is the data-bus occupancy of a full 64-byte line on one
+	// channel.
+	LineBurst int
+	// CoreMult is the core-to-memory clock ratio (3.2 GHz / 800 MHz).
+	CoreMult float64
+}
+
+// DefaultTiming returns the Table II timing.
+func DefaultTiming() Timing {
+	return Timing{TWTR: 7, TCAS: 9, TRCD: 9, TRP: 9, TRAS: 36, LineBurst: 4, CoreMult: 4}
+}
+
+// Overheads injects protection-scheme traffic.
+type Overheads struct {
+	// RBWOnWriteback issues a read-before-write for every writeback (3DP
+	// parity update, paper Figure 12 action 2).
+	RBWOnWriteback bool
+	// ParityCaching, when RBWOnWriteback is set, models Dimension-1 parity
+	// lines cached in the LLC: a parity fetch from memory happens only on
+	// an LLC parity miss.
+	ParityCaching bool
+	// ParityCacheHitRate is the LLC hit rate for parity updates (paper
+	// Figure 13: 85% average). Used when ParityCaching is true.
+	ParityCacheHitRate float64
+	// parityWriteback models the eventual writeback of dirty parity lines
+	// (one per parity miss, steady state).
+}
+
+// Citadel3DP returns the overheads of 3DP with parity caching at the given
+// hit rate.
+func Citadel3DP(hitRate float64) Overheads {
+	return Overheads{RBWOnWriteback: true, ParityCaching: true, ParityCacheHitRate: hitRate}
+}
+
+// Citadel3DPNoCache returns the overheads of 3DP without parity caching:
+// every writeback reads and rewrites the parity line in memory.
+func Citadel3DPNoCache() Overheads {
+	return Overheads{RBWOnWriteback: true, ParityCaching: false}
+}
+
+// Config configures one simulation.
+type Config struct {
+	Stack    stack.Config
+	Striping stack.Striping
+	Timing   Timing
+	Overhead Overheads
+	// Requests is the number of memory requests to simulate.
+	Requests int
+	// Cores is the number of cores in rate mode (Table II: 8).
+	Cores int
+	Seed  int64
+	// Trace, when non-nil, replays a recorded request stream instead of
+	// the synthetic generator (see workload.ReadTrace).
+	Trace *workload.TraceSource
+}
+
+// DefaultConfig returns the Table II baseline configuration.
+func DefaultConfig() Config {
+	return Config{
+		Stack:    stack.DefaultConfig(),
+		Striping: stack.SameBank,
+		Timing:   DefaultTiming(),
+		Requests: 100000,
+		Cores:    8,
+	}
+}
+
+// Stats reports the outcome of one simulation.
+type Stats struct {
+	// Cycles is the execution time in memory-bus cycles.
+	Cycles uint64
+	// Instructions is the per-core instruction count completed.
+	Instructions uint64
+	// RowHits and RowMisses count bank-level row-buffer outcomes.
+	RowHits, RowMisses uint64
+	// Reads counts demand reads; ReadLatencySum accumulates their
+	// end-to-end latency in memory cycles.
+	Reads          uint64
+	ReadLatencySum float64
+	// Power tallies DRAM operations for the power model.
+	Power power.Counts
+}
+
+// CPI returns cycles per instruction in core clocks.
+func (s Stats) CPI(t Timing) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) * t.CoreMult / float64(s.Instructions)
+}
+
+// AvgReadLatency returns the mean demand-read latency in memory cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return s.ReadLatencySum / float64(s.Reads)
+}
+
+// RowHitRate returns the measured row-buffer hit rate.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// sim is the simulation state.
+type sim struct {
+	cfg  Config
+	prof workload.Profile
+
+	bankFree  []float64 // read-priority clock per dense bank id
+	bankFreeW []float64 // write-priority (background drain) clock
+	bankRow   []int     // open row (-1 = closed)
+	chanFree  []float64 // read-priority channel-bus clock
+	chanFreeW []float64 // write-priority channel-bus clock
+
+	coreAvail []float64
+
+	stats Stats
+	rng   *rand.Rand
+}
+
+// Run simulates the profile under the configuration.
+func Run(prof workload.Profile, cfg Config) Stats {
+	if cfg.Requests == 0 {
+		cfg.Requests = 100000
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	s := &sim{
+		cfg:       cfg,
+		prof:      prof,
+		bankFree:  make([]float64, cfg.Stack.TotalDataBanks()),
+		bankFreeW: make([]float64, cfg.Stack.TotalDataBanks()),
+		bankRow:   make([]int, cfg.Stack.TotalDataBanks()),
+		chanFree:  make([]float64, cfg.Stack.Stacks*cfg.Stack.Channels()),
+		chanFreeW: make([]float64, cfg.Stack.Stacks*cfg.Stack.Channels()),
+		coreAvail: make([]float64, cfg.Cores),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	for i := range s.bankRow {
+		s.bankRow[i] = -1
+	}
+	next := func() workload.Request { return workload.Request{} }
+	if cfg.Trace != nil {
+		next = cfg.Trace.Next
+	} else {
+		gen := workload.NewGenerator(prof, cfg.Cores, cfg.Seed)
+		next = gen.Next
+	}
+	var lastICount uint64
+	for i := 0; i < cfg.Requests; i++ {
+		req := next()
+		s.serve(req)
+		if req.ICount > lastICount {
+			lastICount = req.ICount
+		}
+	}
+	end := 0.0
+	for _, t := range s.coreAvail {
+		if t > end {
+			end = t
+		}
+	}
+	s.stats.Cycles = uint64(end)
+	s.stats.Instructions = lastICount
+	s.stats.Power.Cycles = uint64(end)
+	s.stats.Power.Dies = cfg.Stack.Stacks * (cfg.Stack.DataDies + cfg.Stack.ECCDies)
+	return s.stats
+}
+
+// lineIndex folds a workload line address into the stack's address space
+// with a channel-interleaved physical mapping: consecutive DRAM rows of the
+// workload footprint spread first across channels, then banks, then stacks,
+// so independent cores exploit channel- and bank-level parallelism — the
+// property the striped layouts then sacrifice.
+func (s *sim) lineIndex(addr uint64) int64 {
+	cfg := s.cfg.Stack
+	return cfg.LineIndex(cfg.InterleaveLine(addr))
+}
+
+// WriteInterference is the fraction of background (write-class) bank busy
+// time exposed to the read-priority clock. Memory controllers buffer
+// writebacks and drain them in idle slots (FR-FCFS with write batching), so
+// writes delay reads only when the drain cannot stay ahead.
+const WriteInterference = 0.15
+
+// StallOverlap models the additional latency overlap an out-of-order core
+// extracts beyond raw MLP (prefetching, speculation). It scales the
+// exposed miss penalty and is the model's single calibration constant.
+const StallOverlap = 2.2
+
+// accessSlices performs one memory access (all slices of one line) starting
+// no earlier than at. Demand reads run at high priority; background
+// accesses (writebacks, parity maintenance) use the low-priority clocks and
+// leak only WriteInterference of their busy time into the read clocks. It
+// returns the completion time.
+func (s *sim) accessSlices(lineIdx int64, at float64, write, background bool) float64 {
+	cfg := s.cfg
+	t := cfg.Timing
+	slices := cfg.Stack.Slices(cfg.Striping, lineIdx)
+	nUnits := len(slices)
+	burst := float64(t.LineBurst) / float64(nUnits)
+	if burst < 1 {
+		burst = 1
+	}
+	finish := at
+	for _, sl := range slices {
+		bankID := cfg.Stack.BankID(sl.Coord)
+		chID := sl.Coord.Stack*cfg.Stack.Channels() + sl.Coord.Die
+		start := at
+		if background {
+			if s.bankFreeW[bankID] > start {
+				start = s.bankFreeW[bankID]
+			}
+			if s.bankFree[bankID] > start {
+				start = s.bankFree[bankID]
+			}
+		} else if s.bankFree[bankID] > start {
+			start = s.bankFree[bankID]
+		}
+		var svc float64
+		if s.bankRow[bankID] == sl.Coord.Row {
+			s.stats.RowHits++
+			svc = float64(t.TCAS)
+		} else {
+			s.stats.RowMisses++
+			svc = float64(t.TRP + t.TRCD + t.TCAS)
+			s.bankRow[bankID] = sl.Coord.Row
+			s.stats.Power.Activates++
+		}
+		if write {
+			svc += float64(t.TWTR)
+			s.stats.Power.WriteBytes += uint64(sl.Bytes)
+		} else {
+			s.stats.Power.ReadBytes += uint64(sl.Bytes)
+		}
+		// The channel data bus is occupied only for the burst transfer;
+		// CAS/activate latencies overlap across banks of a channel.
+		xfer := start + svc
+		if background {
+			if s.chanFreeW[chID] > xfer {
+				xfer = s.chanFreeW[chID]
+			}
+		} else if s.chanFree[chID] > xfer {
+			xfer = s.chanFree[chID]
+		}
+		done := xfer + burst
+		if background {
+			s.bankFreeW[bankID] = done
+			s.chanFreeW[chID] = done
+			// A fraction of the background service time is exposed to
+			// reads (queueing within the write buffer is not).
+			s.bankFree[bankID] += (svc + burst) * WriteInterference
+		} else {
+			s.bankFree[bankID] = done
+			s.chanFree[chID] = done
+		}
+		if done > finish {
+			finish = done
+		}
+	}
+	return finish
+}
+
+// serve processes one request end to end, including scheme overheads.
+func (s *sim) serve(req workload.Request) {
+	cfg := s.cfg
+	t := cfg.Timing
+	// The core reaches this request after executing the gap instructions.
+	icountCycles := float64(req.ICount) * s.prof.CPI0 / t.CoreMult
+	issue := s.coreAvail[req.Core]
+	if icountCycles > issue {
+		issue = icountCycles
+	}
+	lineIdx := s.lineIndex(req.LineAddr)
+	if req.Write {
+		finish := issue
+		if cfg.Overhead.RBWOnWriteback {
+			// Read-before-write to compute the parity delta (row hit: the
+			// write that follows opens the same row).
+			finish = s.accessSlices(lineIdx, finish, false, true)
+		}
+		finish = s.accessSlices(lineIdx, finish, true, true)
+		if cfg.Overhead.RBWOnWriteback {
+			// Dimension-1 parity update. Parity lines live in the parity
+			// bank; the address depends only on (row, slot), giving high
+			// locality. A cached parity update costs no memory traffic.
+			missRate := 1.0
+			if cfg.Overhead.ParityCaching {
+				missRate = 1 - cfg.Overhead.ParityCacheHitRate
+			}
+			if s.rng.Float64() < missRate {
+				parityLine := s.parityLine(lineIdx)
+				if cfg.Overhead.ParityCaching {
+					// Fetch the parity line into the LLC; its eventual
+					// writeback coalesces many updates and is amortized
+					// into the miss itself.
+					finish = s.accessSlices(parityLine, finish, false, true)
+				} else {
+					// Direct in-memory parity update: read-modify-write.
+					finish = s.accessSlices(parityLine, finish, false, true)
+					s.accessSlices(parityLine, finish, true, true)
+				}
+			}
+		}
+		// Writebacks are posted: the core does not stall.
+		return
+	}
+	finish := s.accessSlices(lineIdx, issue, false, false)
+	s.stats.Reads++
+	s.stats.ReadLatencySum += finish - issue
+	// Reads block the core; memory-level parallelism and out-of-order
+	// execution overlap the service latency and part of the queueing delay
+	// across the outstanding misses.
+	stall := (finish - issue) / (s.prof.MLP * StallOverlap)
+	s.coreAvail[req.Core] = issue + stall
+}
+
+// parityLine maps a data line to its Dimension-1 parity line. The parity
+// "bank" is addressed by (row, slot) only — lines with equal row and slot
+// across banks/dies share one parity line — but it is an abstraction
+// scattered across physical banks by address-bit swapping so that no single
+// physical bank becomes a bottleneck (paper footnote 4).
+func (s *sim) parityLine(lineIdx int64) int64 {
+	cfg := s.cfg.Stack
+	co := cfg.CoordOfLineIndex(lineIdx)
+	pc := stack.Coord{
+		Stack: co.Stack,
+		Die:   co.Row % cfg.Channels(),
+		Bank:  (co.Row / cfg.Channels()) % cfg.BanksPerDie,
+		Row:   co.Row,
+		Line:  co.Line,
+	}
+	return cfg.LineIndex(pc)
+}

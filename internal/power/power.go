@@ -1,0 +1,98 @@
+// Package power implements an active-power model for stacked DRAM in the
+// style of the Micron system-power technical note the paper uses (§III-B):
+// energy is accounted per DRAM operation (activate/precharge pair, read
+// burst, write burst) plus refresh, and average active power is energy
+// divided by execution time.
+//
+// Absolute numbers are representative of an 8 Gb DDR3-class die; the
+// experiments only use ratios (normalized active power), which depend on
+// operation counts and execution time rather than on the exact constants.
+package power
+
+import "fmt"
+
+// Params holds per-operation energies and refresh power for one die.
+type Params struct {
+	// EnergyACT is the energy of one activate/precharge pair (nJ).
+	EnergyACT float64
+	// EnergyRD is the energy of one 64-byte read burst (nJ).
+	EnergyRD float64
+	// EnergyWR is the energy of one 64-byte write burst (nJ).
+	EnergyWR float64
+	// RefreshPower is the standing refresh power per die (mW), at the
+	// HBM-style 32 ms refresh interval.
+	RefreshPower float64
+	// ClockHz is the memory clock used to convert cycles to seconds.
+	ClockHz float64
+}
+
+// Default8Gb returns representative parameters for an 8 Gb die with a 2 KB
+// row buffer (Micron TN-41-01-style values adapted to a stacked die).
+func Default8Gb() Params {
+	return Params{
+		EnergyACT:    10.0, // nJ per ACT+PRE of a 2KB row (IDD0-based)
+		EnergyRD:     4.0,  // nJ per 64B read burst
+		EnergyWR:     4.5,  // nJ per 64B write burst
+		RefreshPower: 2,    // mW per die at the 32 ms HBM refresh interval
+		ClockHz:      800e6,
+	}
+}
+
+// Counts tallies DRAM operations over a simulated interval. Data-transfer
+// energy scales with bytes moved (a striped access moves the same 64 bytes
+// as an unstriped one, just split across banks), while activation energy
+// scales with the number of row activations (striping multiplies these).
+type Counts struct {
+	Activates  uint64
+	ReadBytes  uint64
+	WriteBytes uint64
+	// Cycles is the execution time in memory-clock cycles.
+	Cycles uint64
+	// Dies is the number of powered dies (for refresh accounting).
+	Dies int
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Activates += other.Activates
+	c.ReadBytes += other.ReadBytes
+	c.WriteBytes += other.WriteBytes
+	if other.Cycles > c.Cycles {
+		c.Cycles = other.Cycles
+	}
+	if other.Dies > c.Dies {
+		c.Dies = other.Dies
+	}
+}
+
+// Energy returns the total active energy in nanojoules.
+func (p Params) Energy(c Counts) float64 {
+	dynamic := float64(c.Activates)*p.EnergyACT +
+		float64(c.ReadBytes)/64*p.EnergyRD +
+		float64(c.WriteBytes)/64*p.EnergyWR
+	seconds := p.Seconds(c)
+	refresh := p.RefreshPower * 1e-3 * float64(c.Dies) * seconds * 1e9 // mW*s -> nJ
+	return dynamic + refresh
+}
+
+// Seconds converts the count's cycle total to seconds.
+func (p Params) Seconds(c Counts) float64 {
+	if p.ClockHz == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / p.ClockHz
+}
+
+// ActivePower returns the average active power in watts over the interval.
+func (p Params) ActivePower(c Counts) float64 {
+	s := p.Seconds(c)
+	if s == 0 {
+		return 0
+	}
+	return p.Energy(c) * 1e-9 / s
+}
+
+// String renders counts for logs.
+func (c Counts) String() string {
+	return fmt.Sprintf("counts{act:%d rdB:%d wrB:%d cycles:%d}", c.Activates, c.ReadBytes, c.WriteBytes, c.Cycles)
+}

@@ -1,0 +1,81 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyComposition(t *testing.T) {
+	p := Default8Gb()
+	c := Counts{Activates: 100, ReadBytes: 50 * 64, WriteBytes: 25 * 64, Cycles: 800, Dies: 0}
+	want := 100*p.EnergyACT + 50*p.EnergyRD + 25*p.EnergyWR
+	if got := p.Energy(c); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+}
+
+func TestRefreshScalesWithTimeAndDies(t *testing.T) {
+	p := Default8Gb()
+	base := Counts{Cycles: 800e6, Dies: 1} // 1 second
+	one := p.Energy(base)
+	twoDies := base
+	twoDies.Dies = 2
+	if got := p.Energy(twoDies); math.Abs(got-2*one) > 1e-6 {
+		t.Errorf("2-die refresh energy = %v, want %v", got, 2*one)
+	}
+	twice := base
+	twice.Cycles *= 2
+	if got := p.Energy(twice); math.Abs(got-2*one) > 1e-6 {
+		t.Errorf("2-second refresh energy = %v, want %v", got, 2*one)
+	}
+}
+
+func TestActivePower(t *testing.T) {
+	p := Default8Gb()
+	// 1e6 activates over 1 second: EnergyACT nJ each -> EnergyACT mW.
+	c := Counts{Activates: 1e6, Cycles: uint64(p.ClockHz)}
+	want := p.EnergyACT * 1e-3
+	if got := p.ActivePower(c); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ActivePower = %v, want %v", got, want)
+	}
+	if got := p.ActivePower(Counts{}); got != 0 {
+		t.Errorf("zero counts power = %v", got)
+	}
+}
+
+func TestActivationDominatesWhenFannedOut(t *testing.T) {
+	// The striping experiments rely on activation energy scaling with the
+	// number of banks touched while burst energy stays constant.
+	p := Default8Gb()
+	sameBank := Counts{Activates: 1000, ReadBytes: 1000 * 64, Cycles: 1e6}
+	striped := Counts{Activates: 8000, ReadBytes: 1000 * 64, Cycles: 1e6}
+	ratio := p.Energy(striped) / p.Energy(sameBank)
+	if ratio < 3 || ratio > 8 {
+		t.Errorf("8x activation energy ratio = %.2f, want within (3,8)", ratio)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Activates: 1, ReadBytes: 2, WriteBytes: 3, Cycles: 10, Dies: 2}
+	b := Counts{Activates: 10, ReadBytes: 20, WriteBytes: 30, Cycles: 5, Dies: 4}
+	a.Add(b)
+	if a.Activates != 11 || a.ReadBytes != 22 || a.WriteBytes != 33 {
+		t.Errorf("Add got %+v", a)
+	}
+	if a.Cycles != 10 {
+		t.Errorf("Cycles should keep max: %d", a.Cycles)
+	}
+	if a.Dies != 4 {
+		t.Errorf("Dies should keep max: %d", a.Dies)
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSecondsZeroClock(t *testing.T) {
+	var p Params
+	if p.Seconds(Counts{Cycles: 100}) != 0 {
+		t.Error("zero clock should give zero seconds")
+	}
+}

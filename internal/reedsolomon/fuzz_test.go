@@ -1,0 +1,63 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeNeverPanicsOrLies feeds arbitrary corrupted codewords to the
+// decoder: it must never panic, and whenever it reports success after <=4
+// corrupted symbols, the data must be the original.
+func FuzzDecodeNeverPanicsOrLies(f *testing.F) {
+	f.Add([]byte("seed data for the codeword please"), uint8(2), uint16(0x1234))
+	f.Fuzz(func(t *testing.T, raw []byte, nerr uint8, posSeed uint16) {
+		c, err := New(40, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 32)
+		copy(data, raw)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int(nerr % 12) // up to 12 corruptions, beyond capability
+		seed := int(posSeed)
+		for i := 0; i < n; i++ {
+			pos := (seed + i*7) % 40
+			cw[pos] ^= byte(seed>>3)%255 + 1
+		}
+		got, _, err := c.Decode(cw)
+		if err != nil {
+			return // uncorrectable reported: fine
+		}
+		// Count distinct corrupted positions actually applied.
+		distinct := map[int]bool{}
+		for i := 0; i < n; i++ {
+			distinct[(seed+i*7)%40] = true
+		}
+		if len(distinct) <= c.CorrectableErrors() && !bytes.Equal(got, data) {
+			t.Fatalf("decoder returned wrong data for %d corruptions", len(distinct))
+		}
+	})
+}
+
+// FuzzErasurePositions checks the erasure decoder tolerates arbitrary
+// position lists without panicking.
+func FuzzErasurePositions(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 40, 100}, []byte("x"))
+	f.Fuzz(func(t *testing.T, positions []byte, raw []byte) {
+		c, err := New(40, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 32)
+		copy(data, raw)
+		cw, _ := c.Encode(data)
+		erasures := make([]int, 0, len(positions))
+		for _, p := range positions {
+			erasures = append(erasures, int(p)-64) // include out-of-range
+		}
+		_, _, _ = c.DecodeErasures(cw, erasures) // must not panic
+	})
+}

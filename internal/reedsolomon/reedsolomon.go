@@ -1,0 +1,256 @@
+// Package reedsolomon implements a Reed–Solomon codec over GF(2^8) with
+// 8-bit symbols: systematic encoding, syndrome-based error correction
+// (Sugiyama's extended-Euclid key-equation solver + Chien search + Forney),
+// and erasure decoding.
+//
+// This is the "strong 8-bit symbol-based code (similar to ChipKill)" that
+// Citadel's evaluation uses as its baseline. When each code symbol maps to a
+// distinct bank (or channel), the code corrects the complete failure of one
+// such unit per codeword; the fault-simulator adapters in internal/ecc build
+// on that property.
+package reedsolomon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// ErrTooManyErrors is returned when the error pattern exceeds the code's
+// correction capability.
+var ErrTooManyErrors = errors.New("reedsolomon: too many errors to correct")
+
+// Code is a Reed–Solomon code with k data symbols and n-k parity symbols.
+// It can correct up to (n-k)/2 symbol errors at unknown positions, or n-k
+// erasures at known positions, or mixtures with 2*errors+erasures <= n-k.
+type Code struct {
+	n, k int
+	gen  gf256.Poly // generator polynomial, degree n-k
+}
+
+// New constructs an RS(n, k) code. n must not exceed 255 (the symbol field
+// size minus one) and k must be in (0, n).
+func New(n, k int) (*Code, error) {
+	if n > 255 {
+		return nil, fmt.Errorf("reedsolomon: n = %d exceeds 255", n)
+	}
+	if k <= 0 || k >= n {
+		return nil, fmt.Errorf("reedsolomon: need 0 < k < n, got n=%d k=%d", n, k)
+	}
+	// gen(x) = prod_{i=0}^{n-k-1} (x - alpha^i)
+	gen := gf256.Poly{1}
+	for i := 0; i < n-k; i++ {
+		gen = gf256.PolyMul(gen, gf256.Poly{gf256.Exp(i), 1})
+	}
+	return &Code{n: n, k: k, gen: gen}, nil
+}
+
+// N returns the codeword length in symbols.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data symbols.
+func (c *Code) K() int { return c.k }
+
+// ParitySymbols returns n-k.
+func (c *Code) ParitySymbols() int { return c.n - c.k }
+
+// CorrectableErrors returns the maximum number of symbol errors at unknown
+// positions the code can correct.
+func (c *Code) CorrectableErrors() int { return (c.n - c.k) / 2 }
+
+// Encode appends n-k parity symbols to data (length k) and returns the
+// systematic codeword of length n. Codeword layout: data followed by parity.
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("reedsolomon: data length %d, want %d", len(data), c.k)
+	}
+	// Message polynomial m(x)*x^(n-k); remainder mod gen is the parity.
+	// Our Poly is lowest-degree-first, and we place data[0] as the
+	// highest-degree coefficient so the codeword reads left to right.
+	np := c.n - c.k
+	msg := make(gf256.Poly, c.n)
+	for i, d := range data {
+		msg[c.n-1-i] = d
+	}
+	rem := gf256.PolyMod(msg, c.gen)
+	cw := make([]byte, c.n)
+	copy(cw, data)
+	for i := 0; i < np; i++ {
+		// rem has degree < np; coefficient of x^(np-1-i) is parity symbol i.
+		var v byte
+		if np-1-i < len(rem) {
+			v = rem[np-1-i]
+		}
+		cw[c.k+i] = v
+	}
+	return cw, nil
+}
+
+// codewordPoly converts a codeword (left-to-right symbol order) to a
+// polynomial with the leftmost symbol as the highest-degree coefficient.
+func (c *Code) codewordPoly(cw []byte) gf256.Poly {
+	p := make(gf256.Poly, c.n)
+	for i, s := range cw {
+		p[c.n-1-i] = s
+	}
+	return p
+}
+
+// Syndromes computes the n-k syndromes S_i = r(alpha^i). All-zero syndromes
+// mean the codeword is valid.
+func (c *Code) Syndromes(cw []byte) ([]byte, error) {
+	if len(cw) != c.n {
+		return nil, fmt.Errorf("reedsolomon: codeword length %d, want %d", len(cw), c.n)
+	}
+	p := c.codewordPoly(cw)
+	synd := make([]byte, c.n-c.k)
+	for i := range synd {
+		synd[i] = p.Eval(gf256.Exp(i))
+	}
+	return synd, nil
+}
+
+// IsValid reports whether cw is a valid codeword (all syndromes zero).
+func (c *Code) IsValid(cw []byte) bool {
+	synd, err := c.Syndromes(cw)
+	if err != nil {
+		return false
+	}
+	for _, s := range synd {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode corrects up to (n-k)/2 symbol errors in place and returns the data
+// symbols along with the positions (codeword indices) that were corrected.
+// It returns ErrTooManyErrors when the pattern is uncorrectable.
+func (c *Code) Decode(cw []byte) (data []byte, corrected []int, err error) {
+	return c.DecodeErasures(cw, nil)
+}
+
+// DecodeErasures corrects a mixture of erasures (known-bad positions) and
+// errors, subject to 2*errors + erasures <= n-k. Erasure positions are
+// codeword indices (0 = leftmost/data[0]).
+func (c *Code) DecodeErasures(cw []byte, erasures []int) (data []byte, corrected []int, err error) {
+	if len(cw) != c.n {
+		return nil, nil, fmt.Errorf("reedsolomon: codeword length %d, want %d", len(cw), c.n)
+	}
+	for _, e := range erasures {
+		if e < 0 || e >= c.n {
+			return nil, nil, fmt.Errorf("reedsolomon: erasure position %d out of range", e)
+		}
+	}
+	if len(erasures) > c.n-c.k {
+		return nil, nil, ErrTooManyErrors
+	}
+	synd, _ := c.Syndromes(cw)
+	allZero := true
+	for _, s := range synd {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		out := make([]byte, c.k)
+		copy(out, cw[:c.k])
+		return out, nil, nil
+	}
+
+	// Erasure locator: prod over erasures of (1 + x*alpha^pos), where pos is
+	// the power-position of the symbol (codeword index i corresponds to the
+	// coefficient of x^(n-1-i), i.e. position n-1-i).
+	nerase := len(erasures)
+	erasLoc := gf256.Poly{1}
+	for _, e := range erasures {
+		pos := c.n - 1 - e
+		erasLoc = gf256.PolyMul(erasLoc, gf256.Poly{1, gf256.Exp(pos)})
+	}
+
+	// Modified syndrome polynomial Xi(x) = [S(x) * erasLoc(x)] mod x^(n-k).
+	sPoly := make(gf256.Poly, len(synd))
+	copy(sPoly, synd)
+	modified := gf256.PolyMul(sPoly, erasLoc)
+	if len(modified) > c.n-c.k {
+		modified = modified[:c.n-c.k]
+	}
+
+	// Sugiyama's algorithm: extended Euclid on x^(n-k) and Xi(x), stopping
+	// when deg(remainder) < (n-k+e)/2, yields the error locator Lambda (the
+	// Bezout coefficient) and the errata evaluator Omega (the remainder),
+	// both up to a common scale.
+	xNK := make(gf256.Poly, c.n-c.k+1)
+	xNK[c.n-c.k] = 1
+	r0, r1 := xNK, modified
+	t0, t1 := gf256.Poly{}, gf256.Poly{1}
+	threshold := (c.n - c.k + nerase) / 2
+	for r1.Degree() >= threshold {
+		q, rem := gf256.PolyDivMod(r0, r1)
+		r0, r1 = r1, rem
+		t0, t1 = t1, gf256.PolyAdd(t0, gf256.PolyMul(q, t1))
+	}
+	errLoc, omega := t1.Trim(), r1.Trim()
+
+	// Combined errata locator covers both errors and erasures. Normalize so
+	// locator(0) == 1 (required by the Chien/Forney formulation).
+	locator := gf256.PolyMul(errLoc, erasLoc).Trim()
+	if len(locator) == 0 || locator[0] == 0 {
+		return nil, nil, ErrTooManyErrors
+	}
+	scale := gf256.Inv(locator[0])
+	locator = gf256.PolyScale(locator, scale)
+	omega = gf256.PolyScale(omega, scale)
+
+	nerr := locator.Degree()
+	if nerr == 0 {
+		return nil, nil, ErrTooManyErrors
+	}
+	// Budget check: 2*errors + erasures must fit in n-k.
+	if 2*(nerr-nerase)+nerase > c.n-c.k {
+		return nil, nil, ErrTooManyErrors
+	}
+
+	// Chien search: find roots of the locator; root alpha^{-pos} marks
+	// position pos.
+	positions := make([]int, 0, nerr)
+	for pos := 0; pos < c.n; pos++ {
+		if locator.Eval(gf256.Exp(255-pos)) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != nerr {
+		return nil, nil, ErrTooManyErrors
+	}
+
+	// Forney algorithm: error magnitude at position p is
+	// e_p = X_p * Omega(X_p^{-1}) / Locator'(X_p^{-1}), with X_p = alpha^p.
+	deriv := gf256.FormalDerivative(locator)
+	fixed := make([]byte, len(cw))
+	copy(fixed, cw)
+	corrected = make([]int, 0, len(positions))
+	for _, pos := range positions {
+		xInv := gf256.Exp(255 - pos)
+		denom := deriv.Eval(xInv)
+		if denom == 0 {
+			return nil, nil, ErrTooManyErrors
+		}
+		num := omega.Eval(xInv)
+		mag := gf256.Mul(gf256.Exp(pos), gf256.Div(num, denom))
+		idx := c.n - 1 - pos
+		fixed[idx] ^= mag
+		if mag != 0 {
+			corrected = append(corrected, idx)
+		}
+	}
+	if !c.IsValid(fixed) {
+		return nil, nil, ErrTooManyErrors
+	}
+	copy(cw, fixed)
+	out := make([]byte, c.k)
+	copy(out, fixed[:c.k])
+	return out, corrected, nil
+}

@@ -1,0 +1,313 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCode(t testing.TB, n, k int) *Code {
+	t.Helper()
+	c, err := New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(256, 10); err == nil {
+		t.Error("accepted n > 255")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("accepted k = 0")
+	}
+	if _, err := New(10, 10); err == nil {
+		t.Error("accepted k = n")
+	}
+	if _, err := New(10, 12); err == nil {
+		t.Error("accepted k > n")
+	}
+}
+
+func TestEncodeProducesValidCodeword(t *testing.T) {
+	c := mustCode(t, 72, 64)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, 64)
+		rng.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cw) != 72 {
+			t.Fatalf("codeword length %d", len(cw))
+		}
+		if !bytes.Equal(cw[:64], data) {
+			t.Fatal("code is not systematic")
+		}
+		if !c.IsValid(cw) {
+			t.Fatal("fresh codeword has nonzero syndromes")
+		}
+	}
+}
+
+func TestEncodeWrongLength(t *testing.T) {
+	c := mustCode(t, 72, 64)
+	if _, err := c.Encode(make([]byte, 63)); err == nil {
+		t.Error("accepted short data")
+	}
+}
+
+func TestCorrectsSingleSymbolErrors(t *testing.T) {
+	// RS(72,64): 8 parity symbols, corrects 4 unknown-position errors.
+	c := mustCode(t, 72, 64)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 64)
+	rng.Read(data)
+	orig, _ := c.Encode(data)
+	for pos := 0; pos < 72; pos++ {
+		cw := append([]byte(nil), orig...)
+		cw[pos] ^= 0x5A
+		got, corrected, err := c.Decode(cw)
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pos %d: wrong data", pos)
+		}
+		if len(corrected) != 1 || corrected[0] != pos {
+			t.Fatalf("pos %d: corrected %v", pos, corrected)
+		}
+	}
+}
+
+func TestCorrectsUpToCapacity(t *testing.T) {
+	c := mustCode(t, 40, 32) // corrects 4 errors
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 32)
+		rng.Read(data)
+		orig, _ := c.Encode(data)
+		nerr := 1 + rng.Intn(c.CorrectableErrors())
+		cw := append([]byte(nil), orig...)
+		pos := rng.Perm(40)[:nerr]
+		for _, p := range pos {
+			cw[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, _, err := c.Decode(cw)
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}
+
+func TestRejectsBeyondCapacity(t *testing.T) {
+	c := mustCode(t, 40, 32)
+	rng := rand.New(rand.NewSource(4))
+	miscorrected := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		data := make([]byte, 32)
+		rng.Read(data)
+		orig, _ := c.Encode(data)
+		cw := append([]byte(nil), orig...)
+		// Far beyond capacity: 9 errors for a 4-error code.
+		for _, p := range rng.Perm(40)[:9] {
+			cw[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, _, err := c.Decode(cw)
+		if err == nil && bytes.Equal(got, data) {
+			t.Fatalf("trial %d: decoded 9 errors correctly (impossible)", trial)
+		}
+		if err == nil {
+			miscorrected++ // decoded to a *different* valid codeword
+		}
+	}
+	// Miscorrection to a nearby codeword is possible but must be rare.
+	if miscorrected > trials/4 {
+		t.Errorf("miscorrected %d/%d, expected mostly ErrTooManyErrors", miscorrected, trials)
+	}
+}
+
+func TestErasureDecoding(t *testing.T) {
+	c := mustCode(t, 40, 32) // 8 parity symbols: corrects 8 erasures
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 32)
+		rng.Read(data)
+		orig, _ := c.Encode(data)
+		nerase := 1 + rng.Intn(8)
+		cw := append([]byte(nil), orig...)
+		pos := rng.Perm(40)[:nerase]
+		for _, p := range pos {
+			cw[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, _, err := c.DecodeErasures(cw, pos)
+		if err != nil {
+			t.Fatalf("trial %d (%d erasures): %v", trial, nerase, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}
+
+func TestMixedErrorsAndErasures(t *testing.T) {
+	c := mustCode(t, 40, 32)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 32)
+		rng.Read(data)
+		orig, _ := c.Encode(data)
+		// 2 errors + 4 erasures: 2*2+4 = 8 = n-k, exactly at capacity.
+		perm := rng.Perm(40)
+		erasures := perm[:4]
+		errsAt := perm[4:6]
+		cw := append([]byte(nil), orig...)
+		for _, p := range erasures {
+			cw[p] ^= byte(1 + rng.Intn(255))
+		}
+		for _, p := range errsAt {
+			cw[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, _, err := c.DecodeErasures(cw, erasures)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	c := mustCode(t, 40, 32)
+	cw := make([]byte, 40)
+	if _, _, err := c.DecodeErasures(cw, []int{0, 1, 2, 3, 4, 5, 6, 7, 8}); !errors.Is(err, ErrTooManyErrors) {
+		t.Errorf("9 erasures: err = %v, want ErrTooManyErrors", err)
+	}
+}
+
+func TestErasurePositionValidation(t *testing.T) {
+	c := mustCode(t, 40, 32)
+	cw := make([]byte, 40)
+	if _, _, err := c.DecodeErasures(cw, []int{40}); err == nil {
+		t.Error("accepted erasure position out of range")
+	}
+	if _, _, err := c.DecodeErasures(cw, []int{-1}); err == nil {
+		t.Error("accepted negative erasure position")
+	}
+}
+
+func TestDecodeCleanCodeword(t *testing.T) {
+	c := mustCode(t, 72, 64)
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	cw, _ := c.Encode(data)
+	got, corrected, err := c.Decode(cw)
+	if err != nil || len(corrected) != 0 || !bytes.Equal(got, data) {
+		t.Errorf("clean decode: data ok=%v corrected=%v err=%v", bytes.Equal(got, data), corrected, err)
+	}
+}
+
+// TestChipKillProperty verifies the property the Citadel baseline relies on:
+// with one 8-bit symbol per memory unit and enough parity, the complete
+// failure of any single unit's symbol is correctable.
+func TestChipKillProperty(t *testing.T) {
+	// 8 data symbols (one per bank) + 2 parity: corrects 1 unknown symbol.
+	c := mustCode(t, 10, 8)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, 8)
+		rng.Read(data)
+		cw, _ := c.Encode(data)
+		bank := rng.Intn(10)
+		cw[bank] = byte(rng.Intn(256)) // bank returns garbage
+		got, _, err := c.Decode(cw)
+		if err != nil {
+			t.Fatalf("trial %d: single unit failure uncorrectable: %v", trial, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}
+
+// TestTwoUnitFailuresUncorrectable verifies the converse: two failed units
+// defeat a single-symbol-correcting code (either an error or a detectable
+// uncorrectable pattern, never silent corruption back to wrong data).
+func TestTwoUnitFailuresUncorrectable(t *testing.T) {
+	c := mustCode(t, 10, 8)
+	rng := rand.New(rand.NewSource(8))
+	silently := 0
+	for trial := 0; trial < 500; trial++ {
+		data := make([]byte, 8)
+		rng.Read(data)
+		cw, _ := c.Encode(data)
+		p := rng.Perm(10)
+		cw[p[0]] ^= byte(1 + rng.Intn(255))
+		cw[p[1]] ^= byte(1 + rng.Intn(255))
+		got, _, err := c.Decode(cw)
+		if err == nil && bytes.Equal(got, data) {
+			t.Fatalf("trial %d: corrected 2 unit failures with t=1 code", trial)
+		}
+		if err == nil {
+			silently++
+		}
+	}
+	if silently > 250 {
+		t.Errorf("silent miscorrection in %d/500 trials", silently)
+	}
+}
+
+func TestDecodeQuick(t *testing.T) {
+	c := mustCode(t, 20, 12) // corrects 4
+	f := func(raw [12]byte, noise [4]byte, posSeed int64) bool {
+		data := raw[:]
+		cw, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(posSeed))
+		for i, nz := range noise {
+			if nz == 0 {
+				continue
+			}
+			cw[(rng.Intn(20)+i*5)%20] ^= nz
+		}
+		got, _, err := c.Decode(cw)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode72_64(b *testing.B) {
+	c := mustCode(b, 72, 64)
+	data := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOneError(b *testing.B) {
+	c := mustCode(b, 72, 64)
+	data := make([]byte, 64)
+	orig, _ := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := append([]byte(nil), orig...)
+		cw[10] ^= 0xFF
+		if _, _, err := c.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

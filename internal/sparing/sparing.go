@@ -1,0 +1,180 @@
+// Package sparing implements Citadel's Dynamic Dual-granularity Sparing
+// (DDS, paper §VII). Permanent faults, once corrected by 3DP, are redirected
+// to spare storage in the metadata die so the slow parity-correction path is
+// not exercised again and faults do not accumulate.
+//
+// DDS exploits the bimodal size distribution of permanent faults: a faulty
+// bank has either a handful of faulty rows or thousands. It spares at two
+// granularities:
+//
+//   - Row sparing via the Row Remap Table (RRT): up to MaxSpareRowsPerBank
+//     (4) faulty rows per bank are remapped into the fine-grained spare bank.
+//   - Bank sparing via the Bank Remap Table (BRT): a bank whose faults
+//     exceed the row budget is wholly remapped to one of SpareBanks (2)
+//     coarse-grained spare banks.
+//
+// The spare area occupies three of the metadata die's banks (two coarse,
+// one fine), per stack.
+package sparing
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/stack"
+)
+
+// Defaults from the paper's design.
+const (
+	// MaxSpareRowsPerBank is the RRT budget per bank (paper: 4 entries).
+	MaxSpareRowsPerBank = 4
+	// SpareBanks is the number of coarse-grained spare banks per stack.
+	SpareBanks = 2
+)
+
+// bankKey identifies a bank system-wide.
+type bankKey struct {
+	Stack, Die, Bank int
+}
+
+// DDS tracks sparing state for the whole system.
+type DDS struct {
+	cfg stack.Config
+
+	maxRows    int
+	spareBanks int
+
+	// rrtRows counts RRT entries consumed per bank.
+	rrtRows map[bankKey]int
+	// brt lists banks remapped to spare banks, per stack.
+	brt map[int][]bankKey
+}
+
+// New builds DDS state with the paper's default budgets.
+func New(cfg stack.Config) *DDS {
+	return NewWithBudget(cfg, MaxSpareRowsPerBank, SpareBanks)
+}
+
+// NewWithBudget builds DDS state with explicit budgets (for ablations).
+func NewWithBudget(cfg stack.Config, maxRowsPerBank, spareBanks int) *DDS {
+	return &DDS{
+		cfg:        cfg,
+		maxRows:    maxRowsPerBank,
+		spareBanks: spareBanks,
+		rrtRows:    make(map[bankKey]int),
+		brt:        make(map[int][]bankKey),
+	}
+}
+
+// RowEntriesUsed returns the number of RRT entries consumed for the bank.
+func (d *DDS) RowEntriesUsed(stackIdx, die, bank int) int {
+	return d.rrtRows[bankKey{stackIdx, die, bank}]
+}
+
+// BankSparesUsed returns the number of BRT entries consumed in the stack.
+func (d *DDS) BankSparesUsed(stackIdx int) int { return len(d.brt[stackIdx]) }
+
+// BankSpared reports whether the given bank has been remapped.
+func (d *DDS) BankSpared(stackIdx, die, bank int) bool {
+	for _, k := range d.brt[stackIdx] {
+		if k == (bankKey{stackIdx, die, bank}) {
+			return true
+		}
+	}
+	return false
+}
+
+// singleBank extracts the (die, bank) a footprint is confined to, if any.
+func (d *DDS) singleBank(r fault.Region) (die, bank int, ok bool) {
+	dies := d.cfg.DataDies + d.cfg.ECCDies
+	if r.Die.CountBelow(uint32(dies)) != 1 || r.Bank.CountBelow(uint32(d.cfg.BanksPerDie)) != 1 {
+		return 0, 0, false
+	}
+	for v := 0; v < dies; v++ {
+		if r.Die.Contains(uint32(v)) {
+			die = v
+			break
+		}
+	}
+	for v := 0; v < d.cfg.BanksPerDie; v++ {
+		if r.Bank.Contains(uint32(v)) {
+			bank = v
+			break
+		}
+	}
+	return die, bank, true
+}
+
+// Offer gives DDS a corrected permanent fault (at a scrub boundary). It
+// returns whether f itself is now spared, plus the indices into live of
+// other faults that became spared as a side effect (when row-budget
+// exhaustion escalates the whole bank to a spare bank, every resident fault
+// of that bank moves with it).
+//
+// Faults spanning multiple banks (unrepaired TSV remnants) cannot be spared
+// by DDS and are rejected.
+func (d *DDS) Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedLive []int) {
+	die, bank, ok := d.singleBank(f.Region)
+	if !ok {
+		return false, nil
+	}
+	key := bankKey{f.Region.Stack, die, bank}
+	if d.BankSpared(key.Stack, key.Die, key.Bank) {
+		// Bank already redirected; the faulty cells are no longer in use.
+		return true, nil
+	}
+	rows := f.RowsNeedingSparing(d.cfg)
+	if rows <= d.maxRows-d.rrtRows[key] {
+		d.rrtRows[key] += rows
+		return true, nil
+	}
+	// Row budget exceeded: escalate to bank sparing.
+	if len(d.brt[key.Stack]) >= d.spareBanks {
+		return false, nil
+	}
+	d.brt[key.Stack] = append(d.brt[key.Stack], key)
+	// Every live fault confined to this bank rides along.
+	for i, g := range live {
+		if g.Region.Stack != key.Stack {
+			continue
+		}
+		gd, gb, ok := d.singleBank(g.Region)
+		if ok && gd == key.Die && gb == key.Bank {
+			sparedLive = append(sparedLive, i)
+		}
+	}
+	return true, sparedLive
+}
+
+// String summarizes sparing state.
+func (d *DDS) String() string {
+	used := 0
+	for _, n := range d.rrtRows {
+		used += n
+	}
+	banks := 0
+	for _, b := range d.brt {
+		banks += len(b)
+	}
+	return fmt.Sprintf("DDS{spareRows:%d spareBanks:%d}", used, banks)
+}
+
+// OverheadBits returns the on-chip SRAM cost of the redirection tables in
+// bits (paper §VII-C): per-bank RRT entries of (valid + source row + dest
+// row) plus per-stack BRT entries of (valid + failed bank ID + spare ID).
+func OverheadBits(cfg stack.Config) int {
+	rowIDBits := log2ceil(cfg.RowsPerBank)
+	banks := cfg.Stacks * (cfg.DataDies + cfg.ECCDies) * cfg.BanksPerDie
+	rrt := banks * MaxSpareRowsPerBank * (1 + 2*rowIDBits)
+	bankIDBits := log2ceil((cfg.DataDies + cfg.ECCDies) * cfg.BanksPerDie)
+	brt := cfg.Stacks * SpareBanks * (1 + bankIDBits + 1)
+	return rrt + brt
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}

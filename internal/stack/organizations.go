@@ -1,0 +1,67 @@
+package stack
+
+// Alternative stack organizations. The paper evaluates an HBM-like design
+// but notes (§II-C) that the reliability improvement is "equally high for
+// the HMC and Tezzaron designs". These constructors approximate those
+// organizations within this package's channel-per-die abstraction so the
+// whole evaluation can be re-run against them (see the ablation
+// experiments): what matters for the fault algebra is the number of
+// independent channels, banks per channel, and rows per bank — the axes
+// the three designs actually differ on.
+
+// HBMConfig is the paper's baseline organization (alias of DefaultConfig):
+// 8 channels per stack, one per die, 8 banks per channel.
+func HBMConfig() Config { return DefaultConfig() }
+
+// HMCLikeConfig approximates a Hybrid Memory Cube organization: many
+// narrow vaults (16 per stack) each with fewer banks (4 visible per
+// vault-channel here), smaller 256 B row buffers, and serialized links.
+// Vaults are vertical slices in a real HMC; modeling each vault as a
+// channel preserves the independence structure the fault analysis needs.
+func HMCLikeConfig() Config {
+	return Config{
+		Stacks:      2,
+		DataDies:    16, // 16 vault-channels
+		ECCDies:     2,  // metadata capacity scaled to keep the 12.5% ratio
+		BanksPerDie: 4,
+		RowsPerBank: 512 * 1024,
+		RowBytes:    256,
+		LineBytes:   64,
+		DataTSVs:    32,
+		AddrTSVs:    18,
+		BurstLength: 16,
+	}
+}
+
+// TezzaronLikeConfig approximates the Tezzaron Octopus organization: an
+// 8-port device where each port reaches a bank group; fewer, larger banks
+// per channel with wide TSV buses.
+func TezzaronLikeConfig() Config {
+	return Config{
+		Stacks:      2,
+		DataDies:    8,
+		ECCDies:     1,
+		BanksPerDie: 16,
+		RowsPerBank: 32 * 1024,
+		RowBytes:    2048,
+		LineBytes:   64,
+		DataTSVs:    512,
+		AddrTSVs:    24,
+		BurstLength: 1,
+	}
+}
+
+// Organization names an alternative geometry for reports.
+type Organization struct {
+	Name   string
+	Config Config
+}
+
+// Organizations lists the three stacked-memory designs the paper discusses.
+func Organizations() []Organization {
+	return []Organization{
+		{Name: "HBM", Config: HBMConfig()},
+		{Name: "HMC-like", Config: HMCLikeConfig()},
+		{Name: "Tezzaron-like", Config: TezzaronLikeConfig()},
+	}
+}

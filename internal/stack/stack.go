@@ -1,0 +1,199 @@
+// Package stack models the geometry of a 3D-stacked DRAM memory system in
+// the style of High Bandwidth Memory (HBM): a logic die plus a stack of DRAM
+// dies, where each channel is fully contained in one die and all banks of
+// that channel share the channel's through-silicon vias (TSVs).
+//
+// The package provides the coordinate system used by every other module:
+// (stack, die, bank, row, column/line), conversions between linear physical
+// addresses and coordinates, and the three cache-line data-striping layouts
+// studied by the Citadel paper (same-bank, across-banks, across-channels).
+package stack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes the geometry of the stacked memory system. The zero value
+// is not usable; start from DefaultConfig (the paper's Table II baseline) and
+// override fields as needed.
+type Config struct {
+	// Stacks is the number of independent 3D stacks in the system.
+	Stacks int
+	// DataDies is the number of DRAM dies per stack that hold program data.
+	// In the HBM-like organization each data die hosts exactly one channel.
+	DataDies int
+	// ECCDies is the number of additional dies per stack holding ECC or
+	// metadata (Citadel uses one).
+	ECCDies int
+	// BanksPerDie is the number of independently operable banks on each die
+	// (equivalently, per channel).
+	BanksPerDie int
+	// RowsPerBank is the number of DRAM rows (pages) in each bank.
+	RowsPerBank int
+	// RowBytes is the size of one DRAM row (the row-buffer size).
+	RowBytes int
+	// LineBytes is the cache-line size served by the memory system.
+	LineBytes int
+	// DataTSVs is the number of data TSVs per channel.
+	DataTSVs int
+	// AddrTSVs is the number of address/command TSVs per channel.
+	AddrTSVs int
+	// BurstLength is the number of beats each data TSV transfers per line.
+	BurstLength int
+}
+
+// DefaultConfig returns the baseline system of the paper (Table II): two
+// 8 GB stacks, eight 8 Gb data dies plus one ECC die per stack, 8 banks per
+// channel, 64 Ki rows per bank, 2 KB row buffer, 64 B lines, 256 data TSVs
+// and 24 address TSVs per channel, burst length 2.
+func DefaultConfig() Config {
+	return Config{
+		Stacks:      2,
+		DataDies:    8,
+		ECCDies:     1,
+		BanksPerDie: 8,
+		RowsPerBank: 64 * 1024,
+		RowBytes:    2048,
+		LineBytes:   64,
+		DataTSVs:    256,
+		AddrTSVs:    24,
+		BurstLength: 2,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Stacks <= 0:
+		return errors.New("stack: Stacks must be positive")
+	case c.DataDies <= 0:
+		return errors.New("stack: DataDies must be positive")
+	case c.ECCDies < 0:
+		return errors.New("stack: ECCDies must be non-negative")
+	case c.BanksPerDie <= 0:
+		return errors.New("stack: BanksPerDie must be positive")
+	case c.RowsPerBank <= 0:
+		return errors.New("stack: RowsPerBank must be positive")
+	case c.RowBytes <= 0:
+		return errors.New("stack: RowBytes must be positive")
+	case c.LineBytes <= 0:
+		return errors.New("stack: LineBytes must be positive")
+	case c.RowBytes%c.LineBytes != 0:
+		return fmt.Errorf("stack: RowBytes (%d) must be a multiple of LineBytes (%d)", c.RowBytes, c.LineBytes)
+	case c.DataTSVs <= 0:
+		return errors.New("stack: DataTSVs must be positive")
+	case c.AddrTSVs <= 0:
+		return errors.New("stack: AddrTSVs must be positive")
+	case c.BurstLength <= 0:
+		return errors.New("stack: BurstLength must be positive")
+	case c.LineBytes*8%(c.DataTSVs*c.BurstLength) != 0:
+		return fmt.Errorf("stack: line bits (%d) must be divisible by DataTSVs*BurstLength (%d)",
+			c.LineBytes*8, c.DataTSVs*c.BurstLength)
+	}
+	return nil
+}
+
+// Channels returns the number of channels per stack (one per data die in the
+// HBM-like organization).
+func (c Config) Channels() int { return c.DataDies }
+
+// LinesPerRow returns the number of cache lines held by one DRAM row.
+func (c Config) LinesPerRow() int { return c.RowBytes / c.LineBytes }
+
+// LinesPerBank returns the number of cache lines held by one bank.
+func (c Config) LinesPerBank() int { return c.RowsPerBank * c.LinesPerRow() }
+
+// BankBytes returns the capacity of one bank in bytes.
+func (c Config) BankBytes() int64 { return int64(c.RowsPerBank) * int64(c.RowBytes) }
+
+// DieBytes returns the data capacity of one die in bytes.
+func (c Config) DieBytes() int64 { return int64(c.BanksPerDie) * c.BankBytes() }
+
+// StackBytes returns the data capacity (excluding ECC dies) of one stack.
+func (c Config) StackBytes() int64 { return int64(c.DataDies) * c.DieBytes() }
+
+// TotalBytes returns the data capacity of the whole system.
+func (c Config) TotalBytes() int64 { return int64(c.Stacks) * c.StackBytes() }
+
+// DataBanksPerStack returns the number of data banks in one stack.
+func (c Config) DataBanksPerStack() int { return c.DataDies * c.BanksPerDie }
+
+// TotalDataBanks returns the number of data banks in the whole system.
+func (c Config) TotalDataBanks() int { return c.Stacks * c.DataBanksPerStack() }
+
+// BitsPerTSVPerLine returns how many bits of each cache line travel over a
+// single data TSV (the burst length for the default config).
+func (c Config) BitsPerTSVPerLine() int { return c.LineBytes * 8 / c.DataTSVs }
+
+// Coord identifies one cache line (or, with Line ignored, one row) in the
+// system. Die doubles as the channel index because each channel is fully
+// contained in one die.
+type Coord struct {
+	Stack int // which 3D stack
+	Die   int // die == channel within the stack
+	Bank  int // bank within the die
+	Row   int // row within the bank
+	Line  int // cache line within the row
+}
+
+// String renders the coordinate in a compact, log-friendly form.
+func (co Coord) String() string {
+	return fmt.Sprintf("s%d/d%d/b%d/r%d/l%d", co.Stack, co.Die, co.Bank, co.Row, co.Line)
+}
+
+// Valid reports whether the coordinate addresses a real location under c.
+func (c Config) Valid(co Coord) bool {
+	return co.Stack >= 0 && co.Stack < c.Stacks &&
+		co.Die >= 0 && co.Die < c.DataDies &&
+		co.Bank >= 0 && co.Bank < c.BanksPerDie &&
+		co.Row >= 0 && co.Row < c.RowsPerBank &&
+		co.Line >= 0 && co.Line < c.LinesPerRow()
+}
+
+// LineIndex returns a dense index in [0, TotalLines) for the coordinate.
+// It is the inverse of CoordOfLineIndex.
+func (c Config) LineIndex(co Coord) int64 {
+	lpr := int64(c.LinesPerRow())
+	idx := int64(co.Stack)
+	idx = idx*int64(c.DataDies) + int64(co.Die)
+	idx = idx*int64(c.BanksPerDie) + int64(co.Bank)
+	idx = idx*int64(c.RowsPerBank) + int64(co.Row)
+	idx = idx*lpr + int64(co.Line)
+	return idx
+}
+
+// TotalLines returns the number of cache lines in the system.
+func (c Config) TotalLines() int64 { return c.TotalBytes() / int64(c.LineBytes) }
+
+// CoordOfLineIndex is the inverse of LineIndex.
+func (c Config) CoordOfLineIndex(idx int64) Coord {
+	lpr := int64(c.LinesPerRow())
+	var co Coord
+	co.Line = int(idx % lpr)
+	idx /= lpr
+	co.Row = int(idx % int64(c.RowsPerBank))
+	idx /= int64(c.RowsPerBank)
+	co.Bank = int(idx % int64(c.BanksPerDie))
+	idx /= int64(c.BanksPerDie)
+	co.Die = int(idx % int64(c.DataDies))
+	idx /= int64(c.DataDies)
+	co.Stack = int(idx)
+	return co
+}
+
+// BankID returns a dense index in [0, TotalDataBanks) identifying the bank
+// that holds the coordinate.
+func (c Config) BankID(co Coord) int {
+	return (co.Stack*c.DataDies+co.Die)*c.BanksPerDie + co.Bank
+}
+
+// CoordOfBankID returns a coordinate (Row and Line zero) for a dense bank
+// index produced by BankID.
+func (c Config) CoordOfBankID(id int) Coord {
+	bank := id % c.BanksPerDie
+	id /= c.BanksPerDie
+	die := id % c.DataDies
+	id /= c.DataDies
+	return Coord{Stack: id, Die: die, Bank: bank}
+}

@@ -1,0 +1,290 @@
+package stack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestDefaultConfigCapacity(t *testing.T) {
+	c := DefaultConfig()
+	// Table II: 1 GB per channel, 8 GB per stack, 2x8 GB total.
+	if got, want := c.DieBytes(), int64(1<<30); got != want {
+		t.Errorf("DieBytes = %d, want %d", got, want)
+	}
+	if got, want := c.StackBytes(), int64(8<<30); got != want {
+		t.Errorf("StackBytes = %d, want %d", got, want)
+	}
+	if got, want := c.TotalBytes(), int64(16<<30); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	if got, want := c.LinesPerRow(), 32; got != want {
+		t.Errorf("LinesPerRow = %d, want %d", got, want)
+	}
+	if got, want := c.TotalDataBanks(), 128; got != want {
+		t.Errorf("TotalDataBanks = %d, want %d", got, want)
+	}
+	if got, want := c.BitsPerTSVPerLine(), 2; got != want {
+		t.Errorf("BitsPerTSVPerLine = %d, want %d", got, want)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero stacks", func(c *Config) { c.Stacks = 0 }},
+		{"negative ECC dies", func(c *Config) { c.ECCDies = -1 }},
+		{"zero banks", func(c *Config) { c.BanksPerDie = 0 }},
+		{"zero rows", func(c *Config) { c.RowsPerBank = 0 }},
+		{"zero row bytes", func(c *Config) { c.RowBytes = 0 }},
+		{"zero line bytes", func(c *Config) { c.LineBytes = 0 }},
+		{"row not multiple of line", func(c *Config) { c.RowBytes = 100 }},
+		{"zero data TSVs", func(c *Config) { c.DataTSVs = 0 }},
+		{"zero addr TSVs", func(c *Config) { c.AddrTSVs = 0 }},
+		{"zero burst", func(c *Config) { c.BurstLength = 0 }},
+		{"line bits not divisible by TSVs", func(c *Config) { c.DataTSVs = 300 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Errorf("Validate accepted bad config %+v", c)
+			}
+		})
+	}
+}
+
+func TestLineIndexRoundTrip(t *testing.T) {
+	c := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		idx := rng.Int63n(c.TotalLines())
+		co := c.CoordOfLineIndex(idx)
+		if !c.Valid(co) {
+			t.Fatalf("CoordOfLineIndex(%d) = %v invalid", idx, co)
+		}
+		if back := c.LineIndex(co); back != idx {
+			t.Fatalf("LineIndex(CoordOfLineIndex(%d)) = %d", idx, back)
+		}
+	}
+}
+
+func TestLineIndexRoundTripQuick(t *testing.T) {
+	c := DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := rng.Int63n(c.TotalLines())
+		return c.LineIndex(c.CoordOfLineIndex(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankIDRoundTrip(t *testing.T) {
+	c := DefaultConfig()
+	for id := 0; id < c.TotalDataBanks(); id++ {
+		co := c.CoordOfBankID(id)
+		if !c.Valid(co) {
+			t.Fatalf("CoordOfBankID(%d) = %v invalid", id, co)
+		}
+		if back := c.BankID(co); back != id {
+			t.Fatalf("BankID(CoordOfBankID(%d)) = %d", id, back)
+		}
+	}
+}
+
+func TestStripingString(t *testing.T) {
+	want := map[Striping]string{
+		SameBank:       "Same-Bank",
+		AcrossBanks:    "Across-Banks",
+		AcrossChannels: "Across-Channels",
+		Striping(9):    "Striping(9)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, w)
+		}
+	}
+}
+
+func TestUnitsTouched(t *testing.T) {
+	c := DefaultConfig()
+	if got := SameBank.UnitsTouched(c); got != 1 {
+		t.Errorf("SameBank touches %d banks, want 1", got)
+	}
+	if got := AcrossBanks.UnitsTouched(c); got != 8 {
+		t.Errorf("AcrossBanks touches %d banks, want 8", got)
+	}
+	if got := AcrossChannels.UnitsTouched(c); got != 8 {
+		t.Errorf("AcrossChannels touches %d banks, want 8", got)
+	}
+}
+
+func TestSlicesSameBank(t *testing.T) {
+	c := DefaultConfig()
+	idx := c.LineIndex(Coord{Stack: 1, Die: 3, Bank: 5, Row: 1000, Line: 7})
+	sl := c.Slices(SameBank, idx)
+	if len(sl) != 1 {
+		t.Fatalf("got %d slices, want 1", len(sl))
+	}
+	if sl[0].Bytes != c.LineBytes {
+		t.Errorf("slice bytes = %d, want %d", sl[0].Bytes, c.LineBytes)
+	}
+	if sl[0].RowOffset != 7*c.LineBytes {
+		t.Errorf("row offset = %d, want %d", sl[0].RowOffset, 7*c.LineBytes)
+	}
+	if sl[0].Coord.Bank != 5 || sl[0].Coord.Die != 3 {
+		t.Errorf("slice coord = %v", sl[0].Coord)
+	}
+}
+
+func TestSlicesAcrossBanksCoversAllBanks(t *testing.T) {
+	c := DefaultConfig()
+	sl := c.Slices(AcrossBanks, 12345)
+	if len(sl) != c.BanksPerDie {
+		t.Fatalf("got %d slices, want %d", len(sl), c.BanksPerDie)
+	}
+	seen := map[int]bool{}
+	for _, s := range sl {
+		seen[s.Coord.Bank] = true
+		if s.Bytes != c.LineBytes/c.BanksPerDie {
+			t.Errorf("slice bytes = %d, want %d", s.Bytes, c.LineBytes/c.BanksPerDie)
+		}
+		if s.Coord.Die != sl[0].Coord.Die || s.Coord.Row != sl[0].Coord.Row {
+			t.Errorf("slices differ in die/row: %v vs %v", s.Coord, sl[0].Coord)
+		}
+	}
+	if len(seen) != c.BanksPerDie {
+		t.Errorf("banks covered = %d, want %d", len(seen), c.BanksPerDie)
+	}
+}
+
+func TestSlicesAcrossChannelsCoversAllDies(t *testing.T) {
+	c := DefaultConfig()
+	sl := c.Slices(AcrossChannels, 987654)
+	if len(sl) != c.Channels() {
+		t.Fatalf("got %d slices, want %d", len(sl), c.Channels())
+	}
+	seen := map[int]bool{}
+	for _, s := range sl {
+		seen[s.Coord.Die] = true
+		if s.Coord.Bank != sl[0].Coord.Bank || s.Coord.Row != sl[0].Coord.Row {
+			t.Errorf("slices differ in bank/row: %v vs %v", s.Coord, sl[0].Coord)
+		}
+	}
+	if len(seen) != c.Channels() {
+		t.Errorf("dies covered = %d, want %d", len(seen), c.Channels())
+	}
+}
+
+// TestSlicesDisjointAndComplete checks that under each striping, distinct
+// line indices never claim overlapping bytes, and that slice extents stay
+// within a row. This is the no-aliasing invariant of the address map.
+func TestSlicesDisjointAndComplete(t *testing.T) {
+	c := DefaultConfig()
+	c.RowsPerBank = 16 // shrink for an exhaustive scan of one die
+	c.Stacks = 1
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Stripings() {
+		t.Run(s.String(), func(t *testing.T) {
+			type cell struct {
+				bankID int
+				row    int
+				off    int
+			}
+			claimed := map[cell]int64{}
+			total := c.TotalLines()
+			for idx := int64(0); idx < total; idx++ {
+				for _, sl := range c.Slices(s, idx) {
+					if sl.RowOffset < 0 || sl.RowOffset+sl.Bytes > c.RowBytes {
+						t.Fatalf("line %d slice out of row bounds: %+v", idx, sl)
+					}
+					if sl.Coord.Row < 0 || sl.Coord.Row >= c.RowsPerBank {
+						t.Fatalf("line %d slice row out of range: %+v", idx, sl)
+					}
+					for b := 0; b < sl.Bytes; b++ {
+						key := cell{c.BankID(sl.Coord), sl.Coord.Row, sl.RowOffset + b}
+						if prev, ok := claimed[key]; ok {
+							t.Fatalf("byte %v claimed by both line %d and line %d", key, prev, idx)
+						}
+						claimed[key] = idx
+					}
+				}
+			}
+			wantBytes := int(c.TotalBytes())
+			if len(claimed) != wantBytes {
+				t.Errorf("claimed %d bytes, want %d", len(claimed), wantBytes)
+			}
+		})
+	}
+}
+
+func TestTSVBitMapping(t *testing.T) {
+	c := DefaultConfig()
+	// DTSV-1 carries bits 1 and 257 of every line (paper §V-B).
+	bits := c.BitsOnTSV(1)
+	if len(bits) != 2 || bits[0] != 1 || bits[1] != 257 {
+		t.Errorf("BitsOnTSV(1) = %v, want [1 257]", bits)
+	}
+	for bit := 0; bit < c.LineBytes*8; bit++ {
+		tsv := c.TSVForBit(bit)
+		if tsv < 0 || tsv >= c.DataTSVs {
+			t.Fatalf("TSVForBit(%d) = %d out of range", bit, tsv)
+		}
+		found := false
+		for _, b := range c.BitsOnTSV(tsv) {
+			if b == bit {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("bit %d not listed by BitsOnTSV(%d)", bit, tsv)
+		}
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	co := Coord{Stack: 1, Die: 2, Bank: 3, Row: 4, Line: 5}
+	if got, want := co.String(), "s1/d2/b3/r4/l5"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestAlternativeOrganizations(t *testing.T) {
+	for _, org := range Organizations() {
+		t.Run(org.Name, func(t *testing.T) {
+			if err := org.Config.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			// All three designs are 2x8GB systems (paper §II-C).
+			if got := org.Config.TotalBytes(); got != 16<<30 {
+				t.Errorf("capacity = %d, want 16 GiB", got)
+			}
+			// Round-trip addressing must hold for every geometry.
+			idx := org.Config.TotalLines() - 1
+			if back := org.Config.LineIndex(org.Config.CoordOfLineIndex(idx)); back != idx {
+				t.Errorf("line index round trip failed: %d -> %d", idx, back)
+			}
+		})
+	}
+}
+
+func TestHBMConfigIsDefault(t *testing.T) {
+	if HBMConfig() != DefaultConfig() {
+		t.Error("HBMConfig should alias DefaultConfig")
+	}
+}

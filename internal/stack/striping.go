@@ -1,0 +1,159 @@
+package stack
+
+import "fmt"
+
+// Striping selects how the bytes of one cache line are laid out across the
+// banks and channels of a stack. The choice trades reliability against
+// bank-level parallelism and activation power (Citadel §II-D/E).
+type Striping int
+
+const (
+	// SameBank keeps the whole cache line in a single bank. One bank is
+	// activated per access: best performance and power, worst tolerance of
+	// bank- and channel-granularity faults.
+	SameBank Striping = iota
+	// AcrossBanks stripes the line over all banks of one die (channel).
+	// Every access activates all banks of the channel.
+	AcrossBanks
+	// AcrossChannels stripes the line over one bank in each channel of the
+	// stack. Every access activates one bank in every channel.
+	AcrossChannels
+)
+
+// String returns the name used in the paper's figures.
+func (s Striping) String() string {
+	switch s {
+	case SameBank:
+		return "Same-Bank"
+	case AcrossBanks:
+		return "Across-Banks"
+	case AcrossChannels:
+		return "Across-Channels"
+	default:
+		return fmt.Sprintf("Striping(%d)", int(s))
+	}
+}
+
+// Stripings lists all layouts in presentation order.
+func Stripings() []Striping { return []Striping{SameBank, AcrossBanks, AcrossChannels} }
+
+// UnitsTouched returns the number of banks activated by one line access.
+func (s Striping) UnitsTouched(c Config) int {
+	switch s {
+	case SameBank:
+		return 1
+	case AcrossBanks:
+		return c.BanksPerDie
+	case AcrossChannels:
+		return c.Channels()
+	default:
+		return 1
+	}
+}
+
+// Slice describes the portion of a cache line resident in one bank: the row
+// coordinate plus the byte extent within that row.
+type Slice struct {
+	Coord     Coord // Line field is unused; RowOffset locates the bytes
+	RowOffset int   // byte offset of the slice within the row
+	Bytes     int   // slice length in bytes
+}
+
+// Slices maps a dense line index (see LineIndex/CoordOfLineIndex) to the set
+// of per-bank slices that hold it under striping s. SameBank returns one
+// full-line slice; the striped layouts return one slice per touched bank.
+//
+// For the striped layouts a "row set" — the rows with the same row index in
+// every striped bank — collectively holds UnitsTouched rows' worth of lines,
+// with each line contributing an equal-size slice to every bank of the set.
+func (c Config) Slices(s Striping, lineIdx int64) []Slice {
+	co := c.CoordOfLineIndex(lineIdx)
+	switch s {
+	case SameBank:
+		return []Slice{{
+			Coord:     co,
+			RowOffset: co.Line * c.LineBytes,
+			Bytes:     c.LineBytes,
+		}}
+	case AcrossBanks:
+		n := c.BanksPerDie
+		sliceBytes := c.LineBytes / n
+		// Dense line index within the die.
+		within := (int64(co.Bank)*int64(c.RowsPerBank)+int64(co.Row))*int64(c.LinesPerRow()) + int64(co.Line)
+		linesPerRowSet := int64(n * c.RowBytes / c.LineBytes)
+		row := int(within / linesPerRowSet)
+		slot := int(within % linesPerRowSet)
+		out := make([]Slice, n)
+		for b := 0; b < n; b++ {
+			out[b] = Slice{
+				Coord:     Coord{Stack: co.Stack, Die: co.Die, Bank: b, Row: row},
+				RowOffset: slot * sliceBytes,
+				Bytes:     sliceBytes,
+			}
+		}
+		return out
+	case AcrossChannels:
+		n := c.Channels()
+		sliceBytes := c.LineBytes / n
+		// Dense line index within the stack.
+		within := ((int64(co.Die)*int64(c.BanksPerDie)+int64(co.Bank))*int64(c.RowsPerBank)+int64(co.Row))*int64(c.LinesPerRow()) + int64(co.Line)
+		linesPerRowSet := int64(n * c.RowBytes / c.LineBytes)
+		set := within / linesPerRowSet
+		slot := int(within % linesPerRowSet)
+		bank := int(set / int64(c.RowsPerBank) % int64(c.BanksPerDie))
+		row := int(set % int64(c.RowsPerBank))
+		out := make([]Slice, n)
+		for d := 0; d < n; d++ {
+			out[d] = Slice{
+				Coord:     Coord{Stack: co.Stack, Die: d, Bank: bank, Row: row},
+				RowOffset: slot * sliceBytes,
+				Bytes:     sliceBytes,
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("stack: unknown striping %d", int(s)))
+	}
+}
+
+// TSVForBit returns the data-TSV index that carries the given bit position
+// (0-based within the line) of every cache line in a channel. With 256 data
+// TSVs and a 512-bit line, TSV t carries bits t and t+256.
+func (c Config) TSVForBit(bit int) int { return bit % c.DataTSVs }
+
+// BitsOnTSV returns the line bit positions carried by data TSV t.
+func (c Config) BitsOnTSV(t int) []int {
+	n := c.BitsPerTSVPerLine()
+	bits := make([]int, 0, n)
+	for beat := 0; beat < n; beat++ {
+		bits = append(bits, t+beat*c.DataTSVs)
+	}
+	return bits
+}
+
+// InterleaveLine maps a dense workload line address onto stack coordinates
+// with the channel-interleaved, diagonally permuted layout a performance-
+// oriented controller uses: consecutive DRAM rows spread first across
+// channels, then banks, then stacks, with the bank digit folded into the
+// channel digit so pages spread over all channels (footnote-4-style bit
+// swapping). Both timing models share this mapping.
+func (c Config) InterleaveLine(addr uint64) Coord {
+	lpr := uint64(c.LinesPerRow())
+	slot := addr % lpr
+	rowGroup := addr / lpr
+	die := rowGroup % uint64(c.Channels())
+	rowGroup /= uint64(c.Channels())
+	bank := rowGroup % uint64(c.BanksPerDie)
+	rowGroup /= uint64(c.BanksPerDie)
+	die = (die + bank) % uint64(c.Channels())
+	stk := rowGroup % uint64(c.Stacks)
+	rowGroup /= uint64(c.Stacks)
+	row := rowGroup % uint64(c.RowsPerBank)
+	return Coord{
+		Stack: int(stk),
+		Die:   int(die),
+		Bank:  int(bank),
+		Row:   int(row),
+		Line:  int(slot),
+	}
+}

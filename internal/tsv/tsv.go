@@ -1,0 +1,285 @@
+// Package tsv models through-silicon-via faults and Citadel's TSV-SWAP
+// repair mechanism (paper §V).
+//
+// Each channel owns DataTSVs data TSVs and AddrTSVs address TSVs shared by
+// all banks on the die. TSV-SWAP designates a small pool of existing data
+// TSVs as stand-by TSVs: their bits are replicated in the per-line metadata
+// (8 bits of "swap data"), so a stand-by TSV can be rerouted — via the TSV
+// Redirection Register (TRR) and pass-transistor swap lanes — to carry the
+// traffic of a faulty data or address TSV without losing information.
+//
+// Repair budget: a stand-by data TSV provides BurstLength (2) transfer
+// beats. Redirecting a faulty data TSV consumes a whole stand-by TSV (both
+// beats); redirecting a faulty address TSV consumes a single beat. With four
+// stand-by TSVs this yields the paper's "up to 8 faulty TSVs" capacity when
+// the faults are address TSVs.
+package tsv
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/stack"
+)
+
+// DefaultStandbyCount is the number of data TSVs designated as stand-by
+// (DTSV-0, DTSV-64, DTSV-128, DTSV-192 in the paper's design).
+const DefaultStandbyCount = 4
+
+// Channel tracks TSV health and TSV-SWAP state for one channel (die).
+type Channel struct {
+	cfg     stack.Config
+	standby []int // stand-by data TSV indices
+
+	faultyData map[int]bool // data TSV index -> faulty
+	faultyAddr map[int]bool // addr TSV index -> faulty
+
+	// trr maps a repaired TSV to the stand-by TSV now carrying it. Keys are
+	// data TSV indices for data repairs and AddrKey(k) for address repairs.
+	trr map[int]int
+
+	beatsFree int // remaining stand-by transfer beats
+}
+
+// AddrKey namespaces address TSV indices in the TRR key space.
+func AddrKey(k int) int { return 1<<20 | k }
+
+// NewChannel builds TSV-SWAP state for one channel with the paper's
+// default stand-by pool.
+func NewChannel(cfg stack.Config) *Channel { return NewChannelWithPool(cfg, DefaultStandbyCount) }
+
+// NewChannelWithPool builds TSV-SWAP state with n stand-by TSVs spread
+// evenly across the data TSVs (for pool-size sensitivity studies).
+func NewChannelWithPool(cfg stack.Config, n int) *Channel {
+	if n <= 0 {
+		n = DefaultStandbyCount
+	}
+	standby := make([]int, n)
+	for i := range standby {
+		standby[i] = i * cfg.DataTSVs / n
+	}
+	return &Channel{
+		cfg:        cfg,
+		standby:    standby,
+		faultyData: make(map[int]bool),
+		faultyAddr: make(map[int]bool),
+		trr:        make(map[int]int),
+		beatsFree:  n * cfg.BurstLength,
+	}
+}
+
+// Standby returns the stand-by data TSV indices.
+func (c *Channel) Standby() []int { return append([]int(nil), c.standby...) }
+
+// SwapDataBits returns the line bit positions replicated in metadata: the
+// bits carried by the stand-by TSVs (8 bits for the default config, matching
+// the 8-bit swap-data field of Citadel's metadata).
+func (c *Channel) SwapDataBits() []int {
+	var bitsOut []int
+	for _, t := range c.standby {
+		bitsOut = append(bitsOut, c.cfg.BitsOnTSV(t)...)
+	}
+	return bitsOut
+}
+
+// BeatsFree returns the remaining repair budget in transfer beats.
+func (c *Channel) BeatsFree() int { return c.beatsFree }
+
+// InjectDataFault marks a data TSV faulty. It returns an error for an
+// out-of-range index.
+func (c *Channel) InjectDataFault(t int) error {
+	if t < 0 || t >= c.cfg.DataTSVs {
+		return fmt.Errorf("tsv: data TSV %d out of range [0,%d)", t, c.cfg.DataTSVs)
+	}
+	c.faultyData[t] = true
+	return nil
+}
+
+// InjectAddrFault marks an address TSV faulty.
+func (c *Channel) InjectAddrFault(k int) error {
+	if k < 0 || k >= c.cfg.AddrTSVs {
+		return fmt.Errorf("tsv: addr TSV %d out of range [0,%d)", k, c.cfg.AddrTSVs)
+	}
+	c.faultyAddr[k] = true
+	return nil
+}
+
+// dataRepairCost and addrRepairCost are the beat costs of each repair type.
+const (
+	addrRepairCost = 1
+)
+
+func (c *Channel) dataRepairCost() int { return c.cfg.BurstLength }
+
+// RunBIST scans for unrepaired faulty TSVs and repairs as many as the
+// stand-by budget allows, loading the TRR. It returns the number of repairs
+// performed. Data TSV faults on stand-by TSVs themselves need no lane (their
+// bits already live in metadata) but still consume that stand-by's beats.
+func (c *Channel) RunBIST() int {
+	repaired := 0
+	// Address TSVs first: a single ATSV fault makes half the channel
+	// unreachable, so they are the most valuable repairs (paper Insight 1).
+	for k := 0; k < c.cfg.AddrTSVs; k++ {
+		if !c.faultyAddr[k] {
+			continue
+		}
+		if _, done := c.trr[AddrKey(k)]; done {
+			continue
+		}
+		if c.beatsFree < addrRepairCost {
+			return repaired
+		}
+		c.beatsFree -= addrRepairCost
+		c.trr[AddrKey(k)] = c.standby[0]
+		repaired++
+	}
+	for t := 0; t < c.cfg.DataTSVs; t++ {
+		if !c.faultyData[t] {
+			continue
+		}
+		if _, done := c.trr[t]; done {
+			continue
+		}
+		if c.beatsFree < c.dataRepairCost() {
+			return repaired
+		}
+		c.beatsFree -= c.dataRepairCost()
+		c.trr[t] = c.standby[0]
+		repaired++
+	}
+	return repaired
+}
+
+// Repaired reports whether the given TSV fault has been redirected.
+func (c *Channel) Repaired(f fault.Fault) bool {
+	switch f.Class {
+	case fault.DataTSV:
+		_, ok := c.trr[f.TSV]
+		return ok
+	case fault.AddrTSV:
+		_, ok := c.trr[AddrKey(f.TSV)]
+		return ok
+	default:
+		return false
+	}
+}
+
+// CorruptedBits returns the line bit positions still corrupted by
+// unrepaired faulty data TSVs.
+func (c *Channel) CorruptedBits() []int {
+	var out []int
+	for t := range c.faultyData {
+		if _, ok := c.trr[t]; ok {
+			continue
+		}
+		out = append(out, c.cfg.BitsOnTSV(t)...)
+	}
+	return out
+}
+
+// UnreachableAddrBits returns the address-TSV indices whose faults remain
+// unrepaired; each makes half of the channel's rows unreachable.
+func (c *Channel) UnreachableAddrBits() []int {
+	var out []int
+	for k := range c.faultyAddr {
+		if _, ok := c.trr[AddrKey(k)]; !ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Detector models Citadel's TSV-fault detection flow (paper §V-C.2): two
+// fixed rows per die hold known data at bit-inverse addresses. A CRC
+// mismatch on a demand read triggers a read of the fixed rows; a mismatch
+// there points at TSV (rather than cell) faults and triggers BIST.
+type Detector struct {
+	ch *Channel
+	// FixedRowsCorrupt is set by the functional model when a read of the
+	// fixed rows returns unexpected data.
+	FixedRowsCorrupt bool
+}
+
+// NewDetector builds a detector for a channel.
+func NewDetector(ch *Channel) *Detector { return &Detector{ch: ch} }
+
+// FixedRowAddresses returns the two probe row addresses: all-zeros and
+// all-ones within the row address space, each bit the inverse of the other.
+func (d *Detector) FixedRowAddresses() (int, int) {
+	return 0, d.ch.cfg.RowsPerBank - 1
+}
+
+// CheckFixedRows simulates reading the fixed rows: they appear corrupt when
+// any unrepaired data-TSV fault corrupts their bits, or when an unrepaired
+// address-TSV fault makes one of them unreachable.
+func (d *Detector) CheckFixedRows() bool {
+	if len(d.ch.CorruptedBits()) > 0 || len(d.ch.UnreachableAddrBits()) > 0 {
+		d.FixedRowsCorrupt = true
+		return true
+	}
+	d.FixedRowsCorrupt = false
+	return false
+}
+
+// OnCRCMismatch drives the detection flow: probe the fixed rows, and when
+// they implicate the TSVs, run BIST to repair. It reports whether a TSV
+// fault was found and how many repairs were made.
+func (d *Detector) OnCRCMismatch() (tsvFault bool, repairs int) {
+	if !d.CheckFixedRows() {
+		return false, 0
+	}
+	return true, d.ch.RunBIST()
+}
+
+// Swapper applies TSV-SWAP across a whole system for the reliability
+// simulator: it consumes TSV fault events and reports which remain
+// unrepaired (and therefore keep their footprints).
+type Swapper struct {
+	cfg      stack.Config
+	pool     int
+	channels map[[2]int]*Channel // (stack, die) -> channel state
+}
+
+// NewSwapper builds system-wide TSV-SWAP state with the default pool.
+func NewSwapper(cfg stack.Config) *Swapper { return NewSwapperWithPool(cfg, DefaultStandbyCount) }
+
+// NewSwapperWithPool builds system-wide TSV-SWAP state with n stand-by
+// TSVs per channel.
+func NewSwapperWithPool(cfg stack.Config, n int) *Swapper {
+	return &Swapper{cfg: cfg, pool: n, channels: make(map[[2]int]*Channel)}
+}
+
+// channel returns (lazily creating) the per-channel state.
+func (s *Swapper) channel(stackIdx, die int) *Channel {
+	key := [2]int{stackIdx, die}
+	ch := s.channels[key]
+	if ch == nil {
+		ch = NewChannelWithPool(s.cfg, s.pool)
+		s.channels[key] = ch
+	}
+	return ch
+}
+
+// Apply consumes a TSV fault event, injects it into the owning channel,
+// runs detection/BIST, and reports whether the fault was repaired. Non-TSV
+// faults are ignored (returned as unrepaired=false, handled=false).
+func (s *Swapper) Apply(f fault.Fault) (handled, repaired bool) {
+	if !f.Class.IsTSV() {
+		return false, false
+	}
+	die := int(f.Region.Die.Val)
+	ch := s.channel(f.Region.Stack, die)
+	switch f.Class {
+	case fault.DataTSV:
+		if err := ch.InjectDataFault(f.TSV); err != nil {
+			return true, false
+		}
+	case fault.AddrTSV:
+		if err := ch.InjectAddrFault(f.TSV); err != nil {
+			return true, false
+		}
+	}
+	det := NewDetector(ch)
+	det.OnCRCMismatch()
+	return true, ch.Repaired(f)
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace I/O: synthetic request streams can be exported for inspection or
+// replaced by externally captured traces. The format is CSV with header
+// "line_addr,write,core,icount", one memory request per row.
+
+// WriteTrace serializes requests as CSV.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"line_addr", "write", "core", "icount"}); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		rec := []string{
+			strconv.FormatUint(r.LineAddr, 10),
+			strconv.FormatBool(r.Write),
+			strconv.Itoa(r.Core),
+			strconv.FormatUint(r.ICount, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a CSV trace produced by WriteTrace (or an external
+// tool emitting the same columns).
+func ReadTrace(r io.Reader) ([]Request, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	want := []string{"line_addr", "write", "core", "icount"}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("workload: trace header %v, want %v", header, want)
+		}
+	}
+	var out []Request
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		addr, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad line_addr %q", line, rec[0])
+		}
+		write, err := strconv.ParseBool(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad write %q", line, rec[1])
+		}
+		core, err := strconv.Atoi(rec[2])
+		if err != nil || core < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad core %q", line, rec[2])
+		}
+		icount, err := strconv.ParseUint(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad icount %q", line, rec[3])
+		}
+		out = append(out, Request{LineAddr: addr, Write: write, Core: core, ICount: icount})
+	}
+	return out, nil
+}
+
+// TraceSource replays a recorded trace through the Generator interface
+// shape used by the performance model.
+type TraceSource struct {
+	reqs []Request
+	pos  int
+}
+
+// NewTraceSource wraps a request slice for replay; the trace loops when
+// exhausted so simulations can ask for any request count.
+func NewTraceSource(reqs []Request) (*TraceSource, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &TraceSource{reqs: reqs}, nil
+}
+
+// Next returns the next request, looping at the end of the trace.
+func (t *TraceSource) Next() Request {
+	r := t.reqs[t.pos]
+	t.pos = (t.pos + 1) % len(t.reqs)
+	return r
+}
+
+// Len returns the trace length.
+func (t *TraceSource) Len() int { return len(t.reqs) }

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileCounts(t *testing.T) {
+	all := Profiles()
+	if len(all) != 38 {
+		t.Fatalf("profiles = %d, want 38 (29 SPEC + 7 PARSEC + 2 BioBench)", len(all))
+	}
+	spec := len(BySuite(SPECFP)) + len(BySuite(SPECINT))
+	if spec != 29 {
+		t.Errorf("SPEC profiles = %d, want 29", spec)
+	}
+	if got := len(BySuite(PARSEC)); got != 7 {
+		t.Errorf("PARSEC profiles = %d, want 7", got)
+	}
+	if got := len(BySuite(BIOBENCH)); got != 2 {
+		t.Errorf("BioBench profiles = %d, want 2", got)
+	}
+}
+
+func TestProfileNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.MPKI <= 0 || p.WBPKI < 0 {
+			t.Errorf("%s: bad miss rates %v/%v", p.Name, p.MPKI, p.WBPKI)
+		}
+		if p.RowHit < 0 || p.RowHit > 1 {
+			t.Errorf("%s: row hit %v out of range", p.Name, p.RowHit)
+		}
+		if p.MLP < 1 {
+			t.Errorf("%s: MLP %v < 1", p.Name, p.MLP)
+		}
+		if p.CPI0 <= 0 {
+			t.Errorf("%s: CPI0 %v", p.Name, p.CPI0)
+		}
+		if p.FootprintLines < LinesPerRowGroup {
+			t.Errorf("%s: footprint too small", p.Name)
+		}
+		wf := p.WriteFraction()
+		if wf < 0 || wf >= 1 {
+			t.Errorf("%s: write fraction %v", p.Name, wf)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("mcf")
+	if !ok || p.Name != "mcf" || p.Suite != SPECINT {
+		t.Errorf("ByName(mcf) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestBioBenchReadDominated(t *testing.T) {
+	// Paper §VI-C: BioBench mostly reads with sparse writes.
+	for _, p := range BySuite(BIOBENCH) {
+		if p.WriteFraction() > 0.1 {
+			t.Errorf("%s write fraction %.2f, expected < 0.1", p.Name, p.WriteFraction())
+		}
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if SPECFP.String() != "SPEC-FP" || BIOBENCH.String() != "BIOBENCH" {
+		t.Error("suite names wrong")
+	}
+	if Suite(9).String() != "Suite(9)" {
+		t.Error("unknown suite name wrong")
+	}
+	if len(Suites()) != 4 {
+		t.Error("Suites() wrong length")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ByName("mcf")
+	a := NewGenerator(p, 8, 42).Stream(1000)
+	b := NewGenerator(p, 8, 42).Stream(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := NewGenerator(p, 8, 43).Stream(1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	p, _ := ByName("lbm") // heavy writeback benchmark
+	reqs := NewGenerator(p, 8, 1).Stream(80000)
+	writes := 0
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		}
+	}
+	got := float64(writes) / float64(len(reqs))
+	want := p.WriteFraction()
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("write fraction = %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestGeneratorRowLocality(t *testing.T) {
+	// Requests should revisit row groups at roughly the profiled rate.
+	// (A random jump can land on the same group, so the measured rate can
+	// only exceed the profile value, and only slightly for big footprints.)
+	p, _ := ByName("libquantum") // RowHit 0.90
+	reqs := NewGenerator(p, 1, 2).Stream(50000)
+	same := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].LineAddr/LinesPerRowGroup == reqs[i-1].LineAddr/LinesPerRowGroup {
+			same++
+		}
+	}
+	rate := float64(same) / float64(len(reqs)-1)
+	if math.Abs(rate-p.RowHit) > 0.05 {
+		t.Errorf("row-group locality = %.3f, want ~%.3f", rate, p.RowHit)
+	}
+}
+
+func TestGeneratorCoreRangesDisjoint(t *testing.T) {
+	// Rate mode interleaves the cores' copies in the low row-group bits:
+	// core c owns row groups congruent to c (mod cores).
+	p, _ := ByName("mcf")
+	reqs := NewGenerator(p, 8, 3).Stream(20000)
+	for _, r := range reqs {
+		rg := r.LineAddr / LinesPerRowGroup
+		if rg%8 != uint64(r.Core) {
+			t.Fatalf("core %d accessed row group %d (owner %d)", r.Core, rg, rg%8)
+		}
+	}
+}
+
+func TestGeneratorICountMonotonePerCore(t *testing.T) {
+	p, _ := ByName("gcc")
+	reqs := NewGenerator(p, 8, 4).Stream(10000)
+	last := map[int]uint64{}
+	for _, r := range reqs {
+		if r.ICount <= last[r.Core] {
+			t.Fatalf("instruction count not increasing for core %d", r.Core)
+		}
+		last[r.Core] = r.ICount
+	}
+}
+
+func TestMemoryIntensityOrdering(t *testing.T) {
+	// The paper's Figure 15 ordering depends on GemsFDTD-class benchmarks
+	// being far more memory-intensive than dealII-class ones.
+	gems, _ := ByName("GemsFDTD")
+	deal, _ := ByName("dealII")
+	if gems.MPKI+gems.WBPKI < 10*(deal.MPKI+deal.WBPKI) {
+		t.Error("GemsFDTD should be >=10x more memory-intensive than dealII")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("gcc")
+	reqs := NewGenerator(p, 8, 5).Stream(1000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("round trip %d requests, want %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		if back[i] != reqs[i] {
+			t.Fatalf("request %d changed: %+v vs %+v", i, back[i], reqs[i])
+		}
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := []string{
+		"",                                    // no header
+		"wrong,header,entirely,x\n1,true,0,5", // bad header
+		"line_addr,write,core,icount\nx,true,0,5",
+		"line_addr,write,core,icount\n1,notbool,0,5",
+		"line_addr,write,core,icount\n1,true,-2,5",
+		"line_addr,write,core,icount\n1,true,0,y",
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted bad trace %q", c)
+		}
+	}
+}
+
+func TestTraceSourceLoops(t *testing.T) {
+	reqs := []Request{{LineAddr: 1}, {LineAddr: 2}}
+	src, err := NewTraceSource(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 2 {
+		t.Errorf("Len = %d", src.Len())
+	}
+	got := []uint64{src.Next().LineAddr, src.Next().LineAddr, src.Next().LineAddr}
+	if got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("loop order %v", got)
+	}
+	if _, err := NewTraceSource(nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := Profile{Name: "x", MPKI: -1, MLP: 1, CPI0: 1, FootprintLines: 64}
+	if bad.Validate() == nil {
+		t.Error("accepted negative MPKI")
+	}
+	if (Profile{}).Validate() == nil {
+		t.Error("accepted empty profile")
+	}
+}
