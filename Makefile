@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the tier-1 gate: build + vet +
+# full tests, plus the race detector over the -short suite (the heavy
+# Monte Carlo tests are gated behind -short so the race pass stays within
+# CI budget; see skipInShort in internal/faultsim).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled pass over the fast suite. -short skips the statistically
+# heavy Monte Carlo tests (tens of seconds each under the race detector)
+# while still racing every engine, the HTTP server, and the cancellation
+# paths.
+race:
+	$(GO) test -race -short ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

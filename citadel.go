@@ -25,6 +25,7 @@
 package citadel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ecc"
@@ -199,14 +200,18 @@ type ReliabilityOptions struct {
 	TSVSwap bool
 	// Seed makes runs reproducible.
 	Seed int64
-	// Workers bounds parallelism (default GOMAXPROCS).
+	// Workers bounds parallelism; the engine clamps it to
+	// [1, GOMAXPROCS] (0 or negative selects GOMAXPROCS).
 	Workers int
 }
 
 // Result is the outcome of a reliability run.
 type Result = faultsim.Result
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields. Trials and ScrubIntervalHours are
+// filled here to match their doc comments; faultsim.Options.withDefaults
+// applies the same values and remains the single source of truth for
+// callers that bypass this package.
 func (o ReliabilityOptions) withDefaults() ReliabilityOptions {
 	if o.Config.Stacks == 0 {
 		o.Config = DefaultConfig()
@@ -215,8 +220,14 @@ func (o ReliabilityOptions) withDefaults() ReliabilityOptions {
 	if o.Rates == zero {
 		o.Rates = Table1Rates()
 	}
+	if o.Trials == 0 {
+		o.Trials = 100000
+	}
 	if o.LifetimeYears == 0 {
 		o.LifetimeYears = 7
+	}
+	if o.ScrubIntervalHours == 0 {
+		o.ScrubIntervalHours = faultsim.DefaultScrubIntervalHours
 	}
 	return o
 }
@@ -235,18 +246,35 @@ func (o ReliabilityOptions) engineOptions() faultsim.Options {
 }
 
 // SimulateReliability estimates the probability of system failure for one
-// scheme under the given options.
+// scheme under the given options; it cannot be interrupted (see
+// SimulateReliabilityContext).
 func SimulateReliability(opts ReliabilityOptions, scheme Scheme) Result {
+	return SimulateReliabilityContext(context.Background(), opts, scheme)
+}
+
+// SimulateReliabilityContext estimates the probability of system failure
+// for one scheme. Cancelling ctx stops the Monte Carlo workers within
+// one trial batch; the completed trials are returned as a Result marked
+// Partial (the estimate stays unbiased, just wider).
+func SimulateReliabilityContext(ctx context.Context, opts ReliabilityOptions, scheme Scheme) Result {
 	opts = opts.withDefaults()
-	return faultsim.Run(opts.engineOptions(), scheme.policy(opts.Config, opts.TSVSwap))
+	return faultsim.RunContext(ctx, opts.engineOptions(), scheme.policy(opts.Config, opts.TSVSwap))
 }
 
 // CompareReliability runs several schemes under identical options.
 func CompareReliability(opts ReliabilityOptions, schemes ...Scheme) []Result {
+	return CompareReliabilityContext(context.Background(), opts, schemes...)
+}
+
+// CompareReliabilityContext runs several schemes under identical options.
+// Once ctx is cancelled, the in-flight scheme returns a partial Result
+// and the remaining schemes return immediately with zero trials, all
+// marked Partial.
+func CompareReliabilityContext(ctx context.Context, opts ReliabilityOptions, schemes ...Scheme) []Result {
 	opts = opts.withDefaults()
 	out := make([]Result, len(schemes))
 	for i, s := range schemes {
-		out[i] = faultsim.Run(opts.engineOptions(), s.policy(opts.Config, opts.TSVSwap))
+		out[i] = faultsim.RunContext(ctx, opts.engineOptions(), s.policy(opts.Config, opts.TSVSwap))
 	}
 	return out
 }
@@ -256,8 +284,15 @@ func CompareReliability(opts ReliabilityOptions, schemes ...Scheme) []Result {
 // like Citadel) or maxTrials is reached — the paper's "more trials for
 // schemes that show lower failure rates" methodology (§III-B).
 func SimulateReliabilityAdaptive(opts ReliabilityOptions, scheme Scheme, targetFailures, maxTrials int) Result {
+	return SimulateReliabilityAdaptiveContext(context.Background(), opts, scheme, targetFailures, maxTrials)
+}
+
+// SimulateReliabilityAdaptiveContext is SimulateReliabilityAdaptive under
+// a context: cancellation stops the batch loop and returns the trials
+// accumulated so far as a Result marked Partial.
+func SimulateReliabilityAdaptiveContext(ctx context.Context, opts ReliabilityOptions, scheme Scheme, targetFailures, maxTrials int) Result {
 	opts = opts.withDefaults()
-	return faultsim.RunAdaptive(faultsim.AdaptiveOptions{
+	return faultsim.RunAdaptiveContext(ctx, faultsim.AdaptiveOptions{
 		Options:        opts.engineOptions(),
 		TargetFailures: targetFailures,
 		MaxTrials:      maxTrials,
@@ -271,8 +306,14 @@ type FaultCensus = faultsim.Census
 
 // RunFaultCensus performs the census behind Figure 17 and Table III.
 func RunFaultCensus(opts ReliabilityOptions) FaultCensus {
+	return RunFaultCensusContext(context.Background(), opts)
+}
+
+// RunFaultCensusContext is RunFaultCensus under a context: a cancelled
+// census returns the tallies gathered so far, marked Partial.
+func RunFaultCensusContext(ctx context.Context, opts ReliabilityOptions) FaultCensus {
 	opts = opts.withDefaults()
-	return faultsim.RunCensus(opts.engineOptions(), opts.TSVSwap)
+	return faultsim.RunCensusContext(ctx, opts.engineOptions(), opts.TSVSwap)
 }
 
 // StorageOverhead reports Citadel's storage budget (paper §VII-E): the

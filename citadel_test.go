@@ -2,8 +2,11 @@ package citadel
 
 import (
 	"bytes"
+	"context"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 )
 
 func TestSchemeNames(t *testing.T) {
@@ -190,5 +193,105 @@ func TestFaultConstructors(t *testing.T) {
 	af := AddrTSVFault(0, 1, 4)
 	if af.Class != FaultAddrTSV || !af.Region.Row.Contains(16) || af.Region.Row.Contains(8) {
 		t.Error("AddrTSVFault wrong")
+	}
+}
+
+func TestReliabilityOptionsEffectiveDefaults(t *testing.T) {
+	// Pin the effective defaults promised by the ReliabilityOptions doc
+	// comments: a zero-value options struct must actually simulate 100000
+	// trials over 7 years with 12-hour scrubs on the Table-II geometry.
+	d := ReliabilityOptions{}.withDefaults()
+	if d.Trials != 100000 {
+		t.Errorf("default Trials = %d, want 100000", d.Trials)
+	}
+	if d.LifetimeYears != 7 {
+		t.Errorf("default LifetimeYears = %v, want 7", d.LifetimeYears)
+	}
+	if d.ScrubIntervalHours != 12 {
+		t.Errorf("default ScrubIntervalHours = %v, want 12", d.ScrubIntervalHours)
+	}
+	if d.Config.Stacks != DefaultConfig().Stacks {
+		t.Errorf("default Config = %+v", d.Config)
+	}
+	if d.Rates != Table1Rates() {
+		t.Errorf("default Rates = %+v", d.Rates)
+	}
+	// Non-zero fields must pass through untouched.
+	o := ReliabilityOptions{Trials: 5, LifetimeYears: 2, ScrubIntervalHours: 1}.withDefaults()
+	if o.Trials != 5 || o.LifetimeYears != 2 || o.ScrubIntervalHours != 1 {
+		t.Errorf("explicit options overwritten: %+v", o)
+	}
+}
+
+func TestWorkersClampPropagates(t *testing.T) {
+	// Negative worker counts used to fall through to the engine unclamped;
+	// they must behave exactly like the GOMAXPROCS default.
+	rates := Table1Rates()
+	rates.BankPermanent *= 50
+	opts := ReliabilityOptions{Rates: rates, Trials: 2000, Seed: 9, Workers: -5}
+	r := SimulateReliability(opts, Scheme3DP)
+	if r.Trials != 2000 {
+		t.Errorf("clamped run completed %d trials, want 2000", r.Trials)
+	}
+	if r.Partial {
+		t.Error("clamped run spuriously partial")
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// Single-CPU: Workers=-5 and Workers=1 share one RNG stream, so
+		// the clamp is also observable through identical statistics.
+		one := opts
+		one.Workers = 1
+		if got := SimulateReliability(one, Scheme3DP); got.Failures != r.Failures {
+			t.Errorf("Workers=-5 (%d failures) != Workers=1 (%d failures)", r.Failures, got.Failures)
+		}
+	}
+}
+
+func TestSimulateReliabilityContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := SimulateReliabilityContext(ctx, ReliabilityOptions{Trials: 4_000_000, Seed: 1}, SchemeNone)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled simulation took %v", elapsed)
+	}
+	if !r.Partial {
+		t.Fatal("cancelled simulation not marked Partial")
+	}
+	if r.Trials <= 0 || r.Trials >= 4_000_000 {
+		t.Errorf("partial Trials = %d", r.Trials)
+	}
+}
+
+func TestCompareReliabilityContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := CompareReliabilityContext(ctx, ReliabilityOptions{Trials: 10000, Seed: 1}, SchemeNone, Scheme3DP)
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if !r.Partial || r.Trials != 0 {
+			t.Errorf("result %d not an empty partial: %+v", i, r)
+		}
+	}
+}
+
+func TestSimulatePerformanceContextCancel(t *testing.T) {
+	b, _ := BenchmarkByName("mcf")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	r := SimulatePerformanceContext(ctx, b, PerfOptions{Requests: 50_000_000, Seed: 1})
+	if !r.Partial {
+		t.Fatal("cancelled performance run not marked Partial")
+	}
+	if r.RequestsDone <= 0 || r.RequestsDone >= 50_000_000 {
+		t.Errorf("RequestsDone = %d", r.RequestsDone)
 	}
 }

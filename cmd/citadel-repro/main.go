@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -52,9 +55,15 @@ func main() {
 	case "everything":
 		ids = append(experiments.All(), experiments.Ablations()...)
 	}
+	// Ctrl-C cancels the sweep: the current experiment stops at its next
+	// batch boundary and is reported with whatever rows it finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	interrupted := false
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := experiments.Run(id, opt)
+		rep, err := experiments.RunContext(ctx, id, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -62,13 +71,25 @@ func main() {
 		if *asJSON {
 			out, _ := json.Marshal(map[string]any{
 				"id": rep.ID, "title": rep.Title, "text": rep.Text,
-				"seconds": time.Since(start).Seconds(),
+				"partial": rep.Partial, "seconds": time.Since(start).Seconds(),
 			})
 			fmt.Println(string(out))
-			continue
+		} else {
+			title := rep.Title
+			if rep.Partial {
+				title += " [partial: interrupted]"
+			}
+			fmt.Printf("=== %s ===\n%s\n", title, rep.Text)
+			fmt.Printf("(%s: %.1fs)\n\n%s\n\n", rep.ID, time.Since(start).Seconds(),
+				strings.Repeat("-", 72))
 		}
-		fmt.Printf("=== %s ===\n%s\n", rep.Title, rep.Text)
-		fmt.Printf("(%s: %.1fs)\n\n%s\n\n", rep.ID, time.Since(start).Seconds(),
-			strings.Repeat("-", 72))
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: remaining experiments skipped")
+		os.Exit(130)
 	}
 }

@@ -3,35 +3,110 @@
 //
 // Usage:
 //
-//	citadel-server -addr :8080
+//	citadel-server -addr :8080 -max-concurrent 2 -sim-timeout 5m
 //
 // Routes (see internal/api):
 //
+//	GET  /api/v1/healthz
+//	GET  /api/v1/readyz
 //	GET  /api/v1/schemes
 //	GET  /api/v1/benchmarks
 //	GET  /api/v1/overhead
 //	POST /api/v1/reliability   {"scheme":"Citadel","trials":100000,"tsvFit":1430,"tsvSwap":true}
 //	POST /api/v1/performance   {"benchmark":"mcf","striping":"across-channels"}
+//
+// Operational behavior: at most -max-concurrent simulations run at once
+// (excess requests wait up to -queue-wait, then get 429 + Retry-After);
+// each simulation is bounded by -sim-timeout and by the client's
+// connection (disconnects cancel the run; both yield a partial result).
+// On SIGINT/SIGTERM the server stops accepting work, waits up to
+// -drain-timeout for in-flight runs, then cancels them so they flush
+// partial results before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", 0, "simultaneous simulations (0 = GOMAXPROCS)")
+		queueWait     = flag.Duration("queue-wait", 2*time.Second, "how long a request may wait for a simulation slot before 429")
+		simTimeout    = flag.Duration("sim-timeout", 5*time.Minute, "per-request simulation deadline (expired runs return partial results)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "shutdown: how long to wait for in-flight runs before cancelling them")
+	)
 	flag.Parse()
+
+	apiSrv := api.New(api.Options{
+		MaxConcurrent: *maxConcurrent,
+		QueueWait:     *queueWait,
+		SimTimeout:    *simTimeout,
+	})
+
+	// baseCtx underlies every request context: cancelling it (when the
+	// drain deadline passes) makes in-flight simulations return partial
+	// results so Shutdown can finish.
+	baseCtx, cancelInflight := context.WithCancel(context.Background())
+	defer cancelInflight()
+
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      api.Handler(),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 10 * time.Minute, // Monte Carlo runs can be long
+		Addr:        *addr,
+		Handler:     apiSrv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+		ReadTimeout: 30 * time.Second,
+		// Must outlive the simulation deadline or responses are cut off.
+		WriteTimeout: *simTimeout + 30*time.Second,
 	}
-	log.Printf("citadel-server listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("citadel-server listening on %s (max %d concurrent simulations, sim timeout %s)",
+			*addr, apiSrv.Capacity(), *simTimeout)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	log.Printf("shutdown: draining %d in-flight simulations (up to %s)", apiSrv.InFlight(), *drainTimeout)
+	apiSrv.Drain() // readyz now reports 503 so load balancers stop routing here
+
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Graceful drain expired: cancel the simulations so handlers
+			// flush partial results, then give them a moment to write.
+			log.Printf("shutdown: drain deadline passed, cancelling in-flight simulations")
+			cancelInflight()
+			flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancelFlush()
+			if err := srv.Shutdown(flushCtx); err != nil {
+				log.Printf("shutdown: forcing close: %v", err)
+				srv.Close()
+			}
+		} else {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("citadel-server stopped")
 }

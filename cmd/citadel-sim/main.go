@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	citadel "repro"
 	"repro/internal/fault"
@@ -71,13 +74,25 @@ func main() {
 		TSVSwap:            *tsvSwap,
 		Seed:               *seed,
 	}
+	// Ctrl-C cancels the run; the engine returns within one trial batch
+	// and we report the statistics gathered so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var res citadel.Result
 	if *targetFail > 0 {
-		res = citadel.SimulateReliabilityAdaptive(opts, scheme, *targetFail, *maxTrials)
+		res = citadel.SimulateReliabilityAdaptiveContext(ctx, opts, scheme, *targetFail, *maxTrials)
 	} else {
-		res = citadel.SimulateReliability(opts, scheme)
+		res = citadel.SimulateReliabilityContext(ctx, opts, scheme)
+	}
+	stop()
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "interrupted: partial result over %d completed trials\n", res.Trials)
 	}
 	fmt.Println(res)
+	if res.Trials == 0 {
+		os.Exit(1)
+	}
 	fmt.Printf("%-6s %s\n", "year", "P(failure)")
 	for y := 1; y <= int(*years); y++ {
 		fmt.Printf("%-6d %.3e\n", y, res.ProbabilityByYear(y))

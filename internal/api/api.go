@@ -1,38 +1,165 @@
 // Package api exposes the simulators over HTTP/JSON so experiment runners
 // (notebooks, sweep scripts, dashboards) can drive them remotely. The
-// handler is stdlib-only and stateless; cmd/citadel-server mounts it.
+// handler is stdlib-only; cmd/citadel-server mounts it.
+//
+// The server is built to degrade gracefully under load and partial
+// failure: simulation routes run under a bounded concurrency semaphore
+// (excess requests are shed with 429 and a Retry-After hint instead of
+// piling up goroutines), every run is bounded by a per-run deadline and
+// the request context (a disconnected client cancels its run), POST
+// bodies are size-capped, panics are recovered into 500s, and cancelled
+// runs return the trials completed so far marked "partial" rather than
+// discarding the work.
 package api
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	citadel "repro"
 )
 
-// Handler returns the API's http.Handler. Routes:
+// Options tunes the server's robustness envelope. The zero value selects
+// production-safe defaults.
+type Options struct {
+	// MaxConcurrent bounds simultaneously executing simulation runs;
+	// excess requests wait up to QueueWait for a slot and are then shed
+	// with 429 (default: GOMAXPROCS).
+	MaxConcurrent int
+	// QueueWait is how long a simulation request may wait for a free
+	// slot before being shed (default 2s; negative sheds immediately).
+	QueueWait time.Duration
+	// SimTimeout is the wall-clock budget of one simulation run; a run
+	// that hits it returns its partial result (default 5m; negative
+	// disables the deadline).
+	SimTimeout time.Duration
+	// MaxBodyBytes caps POST request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Logf sinks server logs (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueWait == 0 {
+		o.QueueWait = 2 * time.Second
+	}
+	if o.SimTimeout == 0 {
+		o.SimTimeout = 5 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Server holds the API's concurrency and lifecycle state.
+type Server struct {
+	opts     Options
+	sem      chan struct{}
+	draining atomic.Bool
+}
+
+// New builds a Server with the given options.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrent)}
+}
+
+// Handler returns an API handler with default Options.
+func Handler() http.Handler { return New(Options{}).Handler() }
+
+// Capacity returns the simulation-slot count.
+func (s *Server) Capacity() int { return cap(s.sem) }
+
+// InFlight returns the number of simulation runs currently executing.
+func (s *Server) InFlight() int { return len(s.sem) }
+
+// Drain marks the server not-ready (readyz turns 503) so load balancers
+// stop routing new work; in-flight runs continue. cmd/citadel-server
+// calls this on SIGTERM before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Handler returns the routed http.Handler wrapped in panic recovery.
 //
+// Routes:
+//
+//	GET  /api/v1/healthz      liveness probe
+//	GET  /api/v1/readyz       readiness probe (503 while draining)
 //	GET  /api/v1/schemes      list protection schemes
 //	GET  /api/v1/benchmarks   list workload profiles
 //	GET  /api/v1/overhead     Citadel storage-overhead accounting
 //	POST /api/v1/reliability  run a Monte Carlo study
 //	POST /api/v1/performance  run the timing/power model
-func Handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/schemes", handleSchemes)
-	mux.HandleFunc("GET /api/v1/benchmarks", handleBenchmarks)
-	mux.HandleFunc("GET /api/v1/overhead", handleOverhead)
-	mux.HandleFunc("POST /api/v1/reliability", handleReliability)
-	mux.HandleFunc("POST /api/v1/performance", handlePerformance)
-	return mux
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /api/v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /api/v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /api/v1/overhead", s.handleOverhead)
+	mux.HandleFunc("POST /api/v1/reliability", s.handleReliability)
+	mux.HandleFunc("POST /api/v1/performance", s.handlePerformance)
+	return s.recoverer(mux)
 }
 
-// writeJSON sends v with the proper content type.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// statusWriter tracks whether a response has been started, so the panic
+// recoverer knows if it can still write an error body.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// recoverer converts handler panics into logged 500s instead of killing
+// the connection (and, pre-Go-1.8-style, the process).
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.opts.Logf("api: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if !sw.wrote {
+					s.writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// writeJSON sends v with the proper content type. Encoding failures past
+// the status line can only be logged.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.opts.Logf("api: encoding response: %v", err)
+	}
 }
 
 // apiError is the uniform error body.
@@ -40,35 +167,109 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-func handleSchemes(w http.ResponseWriter, _ *http.Request) {
-	names := make([]string, 0)
-	for _, s := range citadel.Schemes() {
-		names = append(names, s.String())
+// decodeJSON reads a size-capped JSON body into v, answering 413 for
+// oversized bodies and 400 for malformed ones.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+		return false
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"schemes": names})
+	return true
 }
 
-func handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+// acquire reserves a simulation slot, waiting up to QueueWait. When the
+// server is saturated it answers 429 with a Retry-After hint and reports
+// false — backpressure instead of unbounded pile-up.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.opts.QueueWait > 0 {
+		t := time.NewTimer(s.opts.QueueWait)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			return func() { <-s.sem }, true
+		case <-r.Context().Done():
+			// Client gave up while queued; the response goes nowhere.
+		case <-t.C:
+		}
+	}
+	retry := int(s.opts.QueueWait / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	s.writeError(w, http.StatusTooManyRequests,
+		"server at simulation capacity (%d runs in flight)", cap(s.sem))
+	return nil, false
+}
+
+// simContext derives the run context: the request context (a client
+// disconnect cancels the run) bounded by SimTimeout.
+func (s *Server) simContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.SimTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.SimTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"inFlight": s.InFlight(),
+		"capacity": s.Capacity(),
+	})
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	schemes := citadel.Schemes()
+	names := make([]string, 0, len(schemes))
+	for _, sc := range schemes {
+		names = append(names, sc.String())
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"schemes": names})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	type bench struct {
 		Name  string  `json:"name"`
 		Suite string  `json:"suite"`
 		MPKI  float64 `json:"mpki"`
 		WBPKI float64 `json:"wbpki"`
 	}
-	out := make([]bench, 0)
-	for _, b := range citadel.Benchmarks() {
+	profiles := citadel.Benchmarks()
+	out := make([]bench, 0, len(profiles))
+	for _, b := range profiles {
 		out = append(out, bench{Name: b.Name, Suite: b.Suite.String(), MPKI: b.MPKI, WBPKI: b.WBPKI})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
 }
 
-func handleOverhead(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleOverhead(w http.ResponseWriter, _ *http.Request) {
 	ov := citadel.ComputeStorageOverhead(citadel.DefaultConfig())
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"metadataFraction":   ov.MetadataFraction,
 		"parityBankFraction": ov.ParityBankFraction,
 		"totalFraction":      ov.Total(),
@@ -89,7 +290,9 @@ type ReliabilityRequest struct {
 	MaxTrials      int     `json:"maxTrials"`
 }
 
-// ReliabilityResponse mirrors citadel.Result.
+// ReliabilityResponse mirrors citadel.Result. Partial marks a run cut
+// short by cancellation or the per-run deadline: Trials then counts only
+// the completed trials and the statistics cover those.
 type ReliabilityResponse struct {
 	Policy      string         `json:"policy"`
 	Trials      int            `json:"trials"`
@@ -98,36 +301,51 @@ type ReliabilityResponse struct {
 	CI95        float64        `json:"ci95"`
 	ByYear      []float64      `json:"probabilityByYear"`
 	Causes      map[string]int `json:"causes,omitempty"`
+	Partial     bool           `json:"partial,omitempty"`
 }
 
 // maxTrialsPerCall bounds request cost.
 const maxTrialsPerCall = 5_000_000
 
-func handleReliability(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	var req ReliabilityRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	var scheme citadel.Scheme
 	found := false
-	for _, s := range citadel.Schemes() {
-		if s.String() == req.Scheme {
-			scheme, found = s, true
+	for _, sc := range citadel.Schemes() {
+		if sc.String() == req.Scheme {
+			scheme, found = sc, true
 			break
 		}
 	}
 	if !found {
-		writeError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
+		s.writeError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
 		return
 	}
-	if req.Trials <= 0 {
+	if req.Trials < 0 || req.MaxTrials < 0 || req.TargetFailures < 0 {
+		s.writeError(w, http.StatusBadRequest, "trials, maxTrials and targetFailures must be non-negative")
+		return
+	}
+	if req.LifetimeYears < 0 || req.ScrubHours < 0 || req.TSVFIT < 0 {
+		s.writeError(w, http.StatusBadRequest, "lifetimeYears, scrubHours and tsvFit must be non-negative")
+		return
+	}
+	if req.Trials == 0 {
 		req.Trials = 10000
 	}
 	if req.Trials > maxTrialsPerCall || req.MaxTrials > maxTrialsPerCall {
-		writeError(w, http.StatusBadRequest, "trials capped at %d per call", maxTrialsPerCall)
+		s.writeError(w, http.StatusBadRequest, "trials capped at %d per call", maxTrialsPerCall)
 		return
 	}
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.simContext(r)
+	defer cancel()
 	opts := citadel.ReliabilityOptions{
 		Rates:              citadel.Table1Rates().WithTSV(req.TSVFIT),
 		Trials:             req.Trials,
@@ -138,15 +356,15 @@ func handleReliability(w http.ResponseWriter, r *http.Request) {
 	}
 	var res citadel.Result
 	if req.TargetFailures > 0 {
-		res = citadel.SimulateReliabilityAdaptive(opts, scheme, req.TargetFailures, req.MaxTrials)
+		res = citadel.SimulateReliabilityAdaptiveContext(ctx, opts, scheme, req.TargetFailures, req.MaxTrials)
 	} else {
-		res = citadel.SimulateReliability(opts, scheme)
+		res = citadel.SimulateReliabilityContext(ctx, opts, scheme)
 	}
 	byYear := make([]float64, len(res.FailuresByYear))
 	for y := range byYear {
 		byYear[y] = res.ProbabilityByYear(y + 1)
 	}
-	writeJSON(w, http.StatusOK, ReliabilityResponse{
+	s.writeJSON(w, http.StatusOK, ReliabilityResponse{
 		Policy:      res.Policy,
 		Trials:      res.Trials,
 		Failures:    res.Failures,
@@ -154,6 +372,7 @@ func handleReliability(w http.ResponseWriter, r *http.Request) {
 		CI95:        res.CI95(),
 		ByYear:      byYear,
 		Causes:      res.CauseCounts,
+		Partial:     res.Partial,
 	})
 }
 
@@ -167,6 +386,8 @@ type PerformanceRequest struct {
 }
 
 // PerformanceResponse mirrors citadel.PerfResult plus the baseline ratio.
+// Partial marks a run cut short by cancellation or the per-run deadline;
+// the normalized ratios then cover the completed request prefix.
 type PerformanceResponse struct {
 	Benchmark        string  `json:"benchmark"`
 	Cycles           uint64  `json:"cycles"`
@@ -175,17 +396,17 @@ type PerformanceResponse struct {
 	NormalizedPower  float64 `json:"normalizedPower"`
 	RowHitRate       float64 `json:"rowHitRate"`
 	AvgReadLatency   float64 `json:"avgReadLatencyCycles"`
+	Partial          bool    `json:"partial,omitempty"`
 }
 
-func handlePerformance(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePerformance(w http.ResponseWriter, r *http.Request) {
 	var req PerformanceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	b, ok := citadel.BenchmarkByName(req.Benchmark)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
+		s.writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
 		return
 	}
 	var striping citadel.Striping
@@ -197,7 +418,7 @@ func handlePerformance(w http.ResponseWriter, r *http.Request) {
 	case "across-channels":
 		striping = citadel.AcrossChannels
 	default:
-		writeError(w, http.StatusBadRequest, "unknown striping %q", req.Striping)
+		s.writeError(w, http.StatusBadRequest, "unknown striping %q", req.Striping)
 		return
 	}
 	var prot citadel.Protection
@@ -209,27 +430,48 @@ func handlePerformance(w http.ResponseWriter, r *http.Request) {
 	case "3dp-no-cache":
 		prot = citadel.Protection3DPNoCache
 	default:
-		writeError(w, http.StatusBadRequest, "unknown protection %q", req.Protection)
+		s.writeError(w, http.StatusBadRequest, "unknown protection %q", req.Protection)
 		return
 	}
-	if req.Requests <= 0 {
+	if req.Requests < 0 {
+		s.writeError(w, http.StatusBadRequest, "requests must be non-negative")
+		return
+	}
+	if req.Requests == 0 {
 		req.Requests = 50000
 	}
 	if req.Requests > 2_000_000 {
-		writeError(w, http.StatusBadRequest, "requests capped at 2000000 per call")
+		s.writeError(w, http.StatusBadRequest, "requests capped at 2000000 per call")
 		return
 	}
-	base := citadel.SimulatePerformance(b, citadel.PerfOptions{Requests: req.Requests, Seed: req.Seed})
-	res := citadel.SimulatePerformance(b, citadel.PerfOptions{
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	base := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{Requests: req.Requests, Seed: req.Seed})
+	res := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{
 		Striping: striping, Protection: prot, Requests: req.Requests, Seed: req.Seed,
 	})
-	writeJSON(w, http.StatusOK, PerformanceResponse{
+	// Guard the ratios: a cancelled base run can have zero cycles, and
+	// NaN/Inf are not encodable as JSON.
+	normTime, normPower := 0.0, 0.0
+	if base.Cycles > 0 {
+		normTime = float64(res.Cycles) / float64(base.Cycles)
+	}
+	if base.ActivePowerWatts > 0 {
+		normPower = res.ActivePowerWatts / base.ActivePowerWatts
+	}
+	s.writeJSON(w, http.StatusOK, PerformanceResponse{
 		Benchmark:        res.Benchmark,
 		Cycles:           res.Cycles,
-		NormalizedTime:   float64(res.Cycles) / float64(base.Cycles),
+		NormalizedTime:   normTime,
 		ActivePowerWatts: res.ActivePowerWatts,
-		NormalizedPower:  res.ActivePowerWatts / base.ActivePowerWatts,
+		NormalizedPower:  normPower,
 		RowHitRate:       res.RowHitRate,
 		AvgReadLatency:   res.AvgReadLatencyCycles,
+		Partial:          base.Partial || res.Partial,
 	})
 }

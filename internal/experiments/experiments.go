@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -19,6 +20,10 @@ type Report struct {
 	ID    string // "table1", "fig14", ...
 	Title string
 	Text  string // formatted rows, ready to print
+	// Partial reports that the experiment was cancelled before finishing:
+	// the rows present are valid, but sweep points or benchmarks may be
+	// missing and Monte Carlo rows may cover fewer trials than requested.
+	Partial bool
 }
 
 // Options tunes experiment cost.
@@ -29,6 +34,19 @@ type Options struct {
 	Requests int
 	// Seed makes every experiment deterministic.
 	Seed int64
+
+	// ctx carries the cancellation signal installed by RunContext; nil
+	// means context.Background(). Unexported so Options stays a value
+	// type constructed by callers with struct literals.
+	ctx context.Context
+}
+
+// context returns the run's cancellation context.
+func (o Options) context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 // DefaultOptions balances fidelity and runtime (a few minutes for all
@@ -45,8 +63,18 @@ func All() []string {
 	}
 }
 
-// Run dispatches one experiment by ID.
+// Run dispatches one experiment by ID; it cannot be interrupted (see
+// RunContext).
 func Run(id string, opt Options) (Report, error) {
+	return RunContext(context.Background(), id, opt)
+}
+
+// RunContext dispatches one experiment by ID under a context. When ctx
+// is cancelled mid-experiment the Report comes back with the rows
+// computed so far and Partial set; already-started Monte Carlo runs
+// return within one trial batch.
+func RunContext(ctx context.Context, id string, opt Options) (Report, error) {
+	opt.ctx = ctx
 	switch id {
 	case "table1":
 		return Table1(), nil
@@ -128,23 +156,44 @@ func relOpts(opt Options, tsvFIT float64, swap bool) citadel.ReliabilityOptions 
 
 // Fig4 sweeps TSV FIT rates for the symbol code under the three stripings.
 func Fig4(opt Options) Report {
+	ctx := opt.context()
+	rep := Report{ID: "fig4", Title: "Figure 4: striping vs reliability (8-bit symbol code), P(system failure, 7y)"}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %-24s %-24s %-24s\n", "TSV FIT/die",
 		"Symbol8/Same-Bank", "Symbol8/Across-Banks", "Symbol8/Across-Channels")
 	for _, fit := range []float64{0, 14, 143, 1430} {
+		if ctx.Err() != nil {
+			rep.Partial = true
+			break
+		}
 		o := relOpts(opt, fit, false)
-		rs := citadel.CompareReliability(o,
+		rs := citadel.CompareReliabilityContext(ctx, o,
 			citadel.SchemeSymbol8SameBank,
 			citadel.SchemeSymbol8AcrossBanks,
 			citadel.SchemeSymbol8AcrossChannels)
+		rep.Partial = rep.Partial || anyPartial(rs)
 		fmt.Fprintf(&b, "%-12.0f %-24s %-24s %-24s\n", fit,
 			probString(rs[0]), probString(rs[1]), probString(rs[2]))
 	}
-	return Report{ID: "fig4", Title: "Figure 4: striping vs reliability (8-bit symbol code), P(system failure, 7y)", Text: b.String()}
+	rep.Text = b.String()
+	return rep
+}
+
+// anyPartial reports whether any result in rs was cut short.
+func anyPartial(rs []citadel.Result) bool {
+	for _, r := range rs {
+		if r.Partial {
+			return true
+		}
+	}
+	return false
 }
 
 // probString formats a failure probability with its resolution floor.
 func probString(r citadel.Result) string {
+	if r.Trials == 0 {
+		return "n/a" // run cancelled before any trial completed
+	}
 	if r.Failures == 0 {
 		return fmt.Sprintf("<%.1e", 1/float64(r.Trials))
 	}
@@ -153,35 +202,57 @@ func probString(r citadel.Result) string {
 
 // geomeanPerf runs every benchmark under a configuration and returns the
 // geometric means of normalized execution time and normalized power.
-func geomeanPerf(opt Options, striping citadel.Striping, prot citadel.Protection) (exec, power float64) {
+// Cancellation stops after the current benchmark; the means then cover
+// the benchmarks finished so far (partial=true), or come back 1.0 when
+// none finished.
+func geomeanPerf(opt Options, striping citadel.Striping, prot citadel.Protection) (exec, power float64, partial bool) {
+	ctx := opt.context()
 	var ge, gp float64
 	n := 0
 	for _, prof := range citadel.Benchmarks() {
-		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
-		run := citadel.SimulatePerformance(prof, citadel.PerfOptions{
+		if ctx.Err() != nil {
+			partial = true
+			break
+		}
+		base := citadel.SimulatePerformanceContext(ctx, prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
+		run := citadel.SimulatePerformanceContext(ctx, prof, citadel.PerfOptions{
 			Striping: striping, Protection: prot, Requests: opt.Requests, Seed: opt.Seed,
 		})
+		if base.Partial || run.Partial || base.Cycles == 0 {
+			// Only complete benchmark runs enter the mean: a truncated
+			// run's cycle count is not comparable to a full one.
+			partial = true
+			break
+		}
 		ge += math.Log(float64(run.Cycles) / float64(base.Cycles))
 		gp += math.Log(run.ActivePowerWatts / base.ActivePowerWatts)
 		n++
 	}
-	return math.Exp(ge / float64(n)), math.Exp(gp / float64(n))
+	if n == 0 {
+		return 1, 1, true
+	}
+	return math.Exp(ge / float64(n)), math.Exp(gp / float64(n)), partial
 }
 
 // Fig5 reports the execution-time and power cost of striping.
 func Fig5(opt Options) Report {
+	rep := Report{ID: "fig5", Title: "Figure 5: impact of data striping on performance and power (GMEAN, 38 workloads)"}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-18s %22s %22s\n", "Mapping", "Norm. execution time", "Norm. active power")
 	fmt.Fprintf(&b, "%-18s %22.3f %22.2f\n", "Same-Bank", 1.0, 1.0)
 	for _, s := range []citadel.Striping{citadel.AcrossBanks, citadel.AcrossChannels} {
-		e, p := geomeanPerf(opt, s, citadel.NoProtection)
+		e, p, partial := geomeanPerf(opt, s, citadel.NoProtection)
+		rep.Partial = rep.Partial || partial
 		fmt.Fprintf(&b, "%-18s %22.3f %22.2f\n", s, e, p)
 	}
-	return Report{ID: "fig5", Title: "Figure 5: impact of data striping on performance and power (GMEAN, 38 workloads)", Text: b.String()}
+	rep.Text = b.String()
+	return rep
 }
 
 // Fig9 shows TSV-SWAP effectiveness at the highest swept TSV rate.
 func Fig9(opt Options) Report {
+	ctx := opt.context()
+	rep := Report{ID: "fig9", Title: "Figure 9: TSV-SWAP effectiveness (TSV rate 1430 FIT/die), P(system failure, 7y)"}
 	var b strings.Builder
 	schemes := []citadel.Scheme{
 		citadel.SchemeSymbol8SameBank,
@@ -190,21 +261,34 @@ func Fig9(opt Options) Report {
 	}
 	fmt.Fprintf(&b, "%-26s %-16s %-16s %-16s\n", "Mapping", "No TSV-Swap", "With TSV-Swap", "No TSV faults")
 	for _, s := range schemes {
-		noSwap := citadel.SimulateReliability(relOpts(opt, 1430, false), s)
-		withSwap := citadel.SimulateReliability(relOpts(opt, 1430, true), s)
-		noTSV := citadel.SimulateReliability(relOpts(opt, 0, false), s)
+		if ctx.Err() != nil {
+			rep.Partial = true
+			break
+		}
+		noSwap := citadel.SimulateReliabilityContext(ctx, relOpts(opt, 1430, false), s)
+		withSwap := citadel.SimulateReliabilityContext(ctx, relOpts(opt, 1430, true), s)
+		noTSV := citadel.SimulateReliabilityContext(ctx, relOpts(opt, 0, false), s)
+		rep.Partial = rep.Partial || noSwap.Partial || withSwap.Partial || noTSV.Partial
 		fmt.Fprintf(&b, "%-26s %-16s %-16s %-16s\n", s,
 			probString(noSwap), probString(withSwap), probString(noTSV))
 	}
-	return Report{ID: "fig9", Title: "Figure 9: TSV-SWAP effectiveness (TSV rate 1430 FIT/die), P(system failure, 7y)", Text: b.String()}
+	rep.Text = b.String()
+	return rep
 }
 
 // Fig13 reports the parity-caching hit rate per suite.
 func Fig13(opt Options) Report {
+	ctx := opt.context()
+	rep := Report{ID: "fig13", Title: "Figure 13: LLC hit rate for Dimension-1 parity caching"}
 	suiteSum := map[workload.Suite]float64{}
 	suiteN := map[workload.Suite]int{}
 	for _, prof := range citadel.Benchmarks() {
-		r := citadel.MeasureParityCaching(prof, opt.Requests*3, opt.Seed)
+		r := citadel.MeasureParityCachingContext(ctx, prof, opt.Requests*3, opt.Seed)
+		if r.Partial {
+			// A truncated measurement would skew its suite's average.
+			rep.Partial = true
+			break
+		}
 		suiteSum[prof.Suite] += r.HitRate()
 		suiteN[prof.Suite]++
 	}
@@ -213,13 +297,19 @@ func Fig13(opt Options) Report {
 	var mean float64
 	var n int
 	for _, s := range workload.Suites() {
+		if suiteN[s] == 0 {
+			continue // suite not reached before cancellation
+		}
 		avg := suiteSum[s] / float64(suiteN[s])
 		fmt.Fprintf(&b, "%-12s %17.1f%%\n", s, 100*avg)
 		mean += suiteSum[s]
 		n += suiteN[s]
 	}
-	fmt.Fprintf(&b, "%-12s %17.1f%%\n", "GMEAN", 100*mean/float64(n))
-	return Report{ID: "fig13", Title: "Figure 13: LLC hit rate for Dimension-1 parity caching", Text: b.String()}
+	if n > 0 {
+		fmt.Fprintf(&b, "%-12s %17.1f%%\n", "GMEAN", 100*mean/float64(n))
+	}
+	rep.Text = b.String()
+	return rep
 }
 
 // yearCurves renders cumulative failure probabilities for years 1..7 as a
@@ -249,9 +339,12 @@ func yearCurves(b *strings.Builder, rs []citadel.Result) {
 		fmt.Fprintf(b, "%-28s", r.Policy)
 		for y := 1; y <= 7; y++ {
 			p := r.ProbabilityByYear(y)
-			if p == 0 {
+			switch {
+			case r.Trials == 0:
+				fmt.Fprintf(b, " %10s", "n/a")
+			case p == 0:
 				fmt.Fprintf(b, " %10s", fmt.Sprintf("<%.0e", 1/float64(r.Trials)))
-			} else {
+			default:
 				fmt.Fprintf(b, " %10.2e", p)
 			}
 		}
@@ -262,7 +355,7 @@ func yearCurves(b *strings.Builder, rs []citadel.Result) {
 // Fig14 compares 1DP/2DP/3DP against the striped symbol code over years.
 func Fig14(opt Options) Report {
 	o := relOpts(opt, 0, true) // all systems employ TSV-Swap (paper §V-D)
-	rs := citadel.CompareReliability(o,
+	rs := citadel.CompareReliabilityContext(opt.context(), o,
 		citadel.SchemeSymbol8AcrossChannels,
 		citadel.Scheme1DP, citadel.Scheme2DP, citadel.Scheme3DP)
 	var b strings.Builder
@@ -274,11 +367,13 @@ func Fig14(opt Options) Report {
 		fmt.Fprintf(&b, " granularity, which inflates them ~7x relative to the exact RS(72,64)\n")
 		fmt.Fprintf(&b, " capability modeled here)\n")
 	}
-	return Report{ID: "fig14", Title: "Figure 14: resilience of multi-dimensional parity (no DDS)", Text: b.String()}
+	return Report{ID: "fig14", Title: "Figure 14: resilience of multi-dimensional parity (no DDS)", Text: b.String(), Partial: anyPartial(rs)}
 }
 
 // Fig15 reports per-benchmark normalized execution time.
 func Fig15(opt Options) Report {
+	ctx := opt.context()
+	rep := Report{ID: "fig15", Title: "Figure 15: normalized execution time (baseline = Same-Bank, no protection)"}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %10s %14s %14s %16s\n",
 		"Benchmark", "3DP", "3DP-no-cache", "Across-Banks", "Across-Channels")
@@ -286,6 +381,10 @@ func Fig15(opt Options) Report {
 	var sum accum
 	n := 0
 	for _, prof := range citadel.Benchmarks() {
+		if ctx.Err() != nil {
+			rep.Partial = true
+			break
+		}
 		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
 		get := func(s citadel.Striping, p citadel.Protection) float64 {
 			r := citadel.SimulatePerformance(prof, citadel.PerfOptions{
@@ -304,14 +403,19 @@ func Fig15(opt Options) Report {
 		sum.gac += math.Log(ac)
 		n++
 	}
-	e := func(x float64) float64 { return math.Exp(x / float64(n)) }
-	fmt.Fprintf(&b, "%-12s %10.3f %14.3f %14.3f %16.3f\n", "GMEAN",
-		e(sum.g3), e(sum.g3n), e(sum.gab), e(sum.gac))
-	return Report{ID: "fig15", Title: "Figure 15: normalized execution time (baseline = Same-Bank, no protection)", Text: b.String()}
+	if n > 0 {
+		e := func(x float64) float64 { return math.Exp(x / float64(n)) }
+		fmt.Fprintf(&b, "%-12s %10.3f %14.3f %14.3f %16.3f\n", "GMEAN",
+			e(sum.g3), e(sum.g3n), e(sum.gab), e(sum.gac))
+	}
+	rep.Text = b.String()
+	return rep
 }
 
 // Fig16 reports per-suite normalized active power.
 func Fig16(opt Options) Report {
+	ctx := opt.context()
+	rep := Report{ID: "fig16", Title: "Figure 16: normalized active power (baseline = Same-Bank, no protection)"}
 	type accum struct {
 		d3, ab, ac float64
 		n          int
@@ -319,6 +423,10 @@ func Fig16(opt Options) Report {
 	bySuite := map[workload.Suite]*accum{}
 	var total accum
 	for _, prof := range citadel.Benchmarks() {
+		if ctx.Err() != nil {
+			rep.Partial = true
+			break
+		}
 		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
 		get := func(s citadel.Striping, p citadel.Protection) float64 {
 			r := citadel.SimulatePerformance(prof, citadel.PerfOptions{
@@ -346,6 +454,9 @@ func Fig16(opt Options) Report {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %8s %14s %16s\n", "Suite", "3DP", "Across-Banks", "Across-Channels")
 	row := func(name string, a *accum) {
+		if a == nil || a.n == 0 {
+			return // suite not reached before cancellation
+		}
 		e := func(x float64) float64 { return math.Exp(x / float64(a.n)) }
 		fmt.Fprintf(&b, "%-12s %8.2f %14.2f %16.2f\n", name, e(a.d3), e(a.ab), e(a.ac))
 	}
@@ -353,7 +464,8 @@ func Fig16(opt Options) Report {
 		row(s.String(), bySuite[s])
 	}
 	row("GMEAN", &total)
-	return Report{ID: "fig16", Title: "Figure 16: normalized active power (baseline = Same-Bank, no protection)", Text: b.String()}
+	rep.Text = b.String()
+	return rep
 }
 
 // Fig17 reports the bimodal rows-needed-for-sparing distribution.
@@ -366,7 +478,7 @@ func Fig17(opt Options) Report {
 	o.Rates.ColumnPermanent *= 50
 	o.Rates.RowPermanent *= 50
 	o.Rates.BankPermanent *= 50
-	c := citadel.RunFaultCensus(o)
+	c := citadel.RunFaultCensusContext(opt.context(), o)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %12s %10s\n", "Rows needed for sparing", "Faulty banks", "Percent")
 	for _, rows := range c.SortedRowCounts() {
@@ -374,7 +486,7 @@ func Fig17(opt Options) Report {
 	}
 	fmt.Fprintf(&b, "\nfine-grained (<=4 rows): %.2f%%   coarse-grained (>4 rows): %.2f%%\n",
 		pctBelow(c, 5), 100-pctBelow(c, 5))
-	return Report{ID: "fig17", Title: "Figure 17: permanent faults are bimodal (rows per faulty bank)", Text: b.String()}
+	return Report{ID: "fig17", Title: "Figure 17: permanent faults are bimodal (rows per faulty bank)", Text: b.String(), Partial: c.Partial}
 }
 
 func pctBelow(c citadel.FaultCensus, limit int) float64 {
@@ -394,7 +506,7 @@ func pctBelow(c citadel.FaultCensus, limit int) float64 {
 // Table3 reports the failed-banks-per-system distribution.
 func Table3(opt Options) Report {
 	o := relOpts(opt, 0, true)
-	c := citadel.RunFaultCensus(o)
+	c := citadel.RunFaultCensusContext(opt.context(), o)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-18s %12s\n", "Num faulty banks", "Probability")
 	fmt.Fprintf(&b, "%-18d %11.2f%%\n", 1, c.FailedBanksPercent(1, false))
@@ -402,13 +514,13 @@ func Table3(opt Options) Report {
 	fmt.Fprintf(&b, "%-18s %11.2f%%\n", "3+", c.FailedBanksPercent(3, true))
 	fmt.Fprintf(&b, "\n(systems with >=1 failed bank: %d of %d trials)\n",
 		c.TrialsWithBankFailure, c.Trials)
-	return Report{ID: "table3", Title: "Table III: number of failed banks, for systems with >=1 bank failure", Text: b.String()}
+	return Report{ID: "table3", Title: "Table III: number of failed banks, for systems with >=1 bank failure", Text: b.String(), Partial: c.Partial}
 }
 
 // Fig18 compares 3DP and 3DP+DDS against the striped symbol code.
 func Fig18(opt Options) Report {
 	o := relOpts(opt, 0, true)
-	rs := citadel.CompareReliability(o,
+	rs := citadel.CompareReliabilityContext(opt.context(), o,
 		citadel.SchemeSymbol8AcrossChannels,
 		citadel.Scheme3DP,
 		citadel.Scheme3DPDDS)
@@ -417,17 +529,17 @@ func Fig18(opt Options) Report {
 	if rs[2].Failures > 0 {
 		fmt.Fprintf(&b, "\n3DP+DDS vs symbol code improvement at year 7: %.0fx\n",
 			rs[0].Probability()/rs[2].Probability())
-	} else {
+	} else if rs[2].Trials > 0 {
 		fmt.Fprintf(&b, "\n3DP+DDS vs symbol code improvement at year 7: >%.0fx\n",
 			rs[0].Probability()*float64(rs[2].Trials))
 	}
-	return Report{ID: "fig18", Title: "Figure 18: resilience of 3DP+DDS vs symbol-based striping", Text: b.String()}
+	return Report{ID: "fig18", Title: "Figure 18: resilience of 3DP+DDS vs symbol-based striping", Text: b.String(), Partial: anyPartial(rs)}
 }
 
 // Fig19 compares Citadel with 6EC7ED and RAID-5 (no TSV faults).
 func Fig19(opt Options) Report {
 	o := relOpts(opt, 0, false)
-	rs := citadel.CompareReliability(o,
+	rs := citadel.CompareReliabilityContext(opt.context(), o,
 		citadel.SchemeBCH6EC7ED,
 		citadel.SchemeRAID5,
 		citadel.Scheme3DPDDS)
@@ -437,7 +549,7 @@ func Fig19(opt Options) Report {
 	if rs[1].Failures > 0 && rs[0].Failures > 0 {
 		fmt.Fprintf(&b, "\nRAID-5 vs 6EC7ED improvement: %.0fx\n", rs[0].Probability()/rs[1].Probability())
 	}
-	return Report{ID: "fig19", Title: "Figure 19: Citadel vs 6EC7ED and RAID-5 (no TSV faults)", Text: b.String()}
+	return Report{ID: "fig19", Title: "Figure 19: Citadel vs 6EC7ED and RAID-5 (no TSV faults)", Text: b.String(), Partial: anyPartial(rs)}
 }
 
 // Overhead reports Citadel's storage accounting (paper §VII-E).

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyOptions keeps test runs fast.
@@ -100,5 +102,52 @@ func TestDefaultOptionsSane(t *testing.T) {
 	o := DefaultOptions()
 	if o.Trials < 10000 || o.Requests < 10000 {
 		t.Errorf("default options too small: %+v", o)
+	}
+}
+
+func TestRunContextCancelledReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-cancelled sweep must come back promptly with Partial set —
+	// reliability, census, and performance experiments alike.
+	for _, id := range []string{"fig4", "fig5", "table3", "orgs"} {
+		rep, err := RunContext(ctx, id, tinyOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Partial {
+			t.Errorf("%s: cancelled experiment not marked Partial", id)
+		}
+	}
+	// Static tables need no simulation and ignore cancellation.
+	rep, err := RunContext(ctx, "table1", tinyOptions())
+	if err != nil || rep.Partial {
+		t.Errorf("table1 under cancelled ctx: err=%v partial=%v", err, rep.Partial)
+	}
+}
+
+func TestRunContextMidSweepCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	opt := Options{Trials: 10_000_000, Requests: 5000, Seed: 42}
+	start := time.Now()
+	rep, err := RunContext(ctx, "fig14", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancelled experiment took %v", elapsed)
+	}
+	if !rep.Partial {
+		t.Error("interrupted fig14 not marked Partial")
+	}
+	if rep.Text == "" {
+		t.Error("partial report lost its rows")
 	}
 }

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/fault"
@@ -37,11 +38,16 @@ func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
 	return o
 }
 
-// Merge combines two independent runs of the same policy.
+// Merge combines two independent runs of the same policy. A partial
+// input yields a partial merged result.
 func Merge(a, b Result) Result {
 	out := a
 	out.Trials += b.Trials
 	out.Failures += b.Failures
+	out.Partial = a.Partial || b.Partial
+	if out.Err == nil {
+		out.Err = b.Err
+	}
 	if len(b.FailuresByYear) == len(a.FailuresByYear) {
 		out.FailuresByYear = append([]int(nil), a.FailuresByYear...)
 		for i := range b.FailuresByYear {
@@ -62,6 +68,13 @@ func Merge(a, b Result) Result {
 // the trial cap is hit. Batches use distinct seeds derived from the base
 // seed, so results remain reproducible.
 func RunAdaptive(opt AdaptiveOptions, pol Policy) Result {
+	return RunAdaptiveContext(context.Background(), opt, pol)
+}
+
+// RunAdaptiveContext is RunAdaptive under a context: cancellation stops
+// the batch loop and returns the trials accumulated so far as a Result
+// marked Partial.
+func RunAdaptiveContext(ctx context.Context, opt AdaptiveOptions, pol Policy) Result {
 	opt = opt.withDefaults()
 	var total Result
 	total.Policy = pol.name()
@@ -69,16 +82,24 @@ func RunAdaptive(opt AdaptiveOptions, pol Policy) Result {
 	total.FailuresByYear = make([]int, years)
 	batch := 0
 	for total.Trials < opt.MaxTrials && total.Failures < opt.TargetFailures {
+		if err := ctx.Err(); err != nil {
+			total.Partial = true
+			total.Err = err
+			break
+		}
 		bo := opt.Options
 		bo.Trials = opt.BatchTrials
 		if remaining := opt.MaxTrials - total.Trials; bo.Trials > remaining {
 			bo.Trials = remaining
 		}
 		bo.Seed = opt.Seed + int64(batch)*1e6
-		r := Run(bo, pol)
+		r := RunContext(ctx, bo, pol)
 		total = Merge(total, r)
 		total.Policy = pol.name()
 		batch++
+		if r.Partial {
+			break
+		}
 	}
 	return total
 }

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -14,6 +15,8 @@ import (
 // spare a faulty bank is bimodal) and Table III (number of failed banks in
 // systems with at least one).
 type Census struct {
+	// Trials counts the lifetimes actually simulated; fewer than
+	// requested when the census was cancelled (see Partial).
 	Trials int
 	// RowsHistogram[n] counts faulty banks that would need n spare rows.
 	RowsHistogram map[int]int
@@ -24,6 +27,9 @@ type Census struct {
 	TrialsWithBankFailure int
 	// FailedBankThreshold is the DDS escalation rule (paper: 4 rows).
 	FailedBankThreshold int
+	// Partial reports that the census was cancelled before all requested
+	// trials completed; the tallies cover the completed trials only.
+	Partial bool
 }
 
 // FaultyBankTotal returns the total number of faulty banks observed.
@@ -79,9 +85,15 @@ func (c Census) SortedRowCounts() []int {
 // useTSVSwap filters TSV faults through TSV-SWAP first, as the DDS analysis
 // assumes (paper §V-D: "all systems employ TSV-Swap for the remainder").
 func RunCensus(opt Options, useTSVSwap bool) Census {
+	return RunCensusContext(context.Background(), opt, useTSVSwap)
+}
+
+// RunCensusContext is RunCensus under a context: workers check ctx
+// between trial batches and a cancelled run returns the tallies gathered
+// so far, marked Partial.
+func RunCensusContext(ctx context.Context, opt Options, useTSVSwap bool) Census {
 	opt = opt.withDefaults()
 	c := Census{
-		Trials:               opt.Trials,
 		RowsHistogram:        make(map[int]int),
 		FailedBanksPerSystem: make(map[int]int),
 		FailedBankThreshold:  4,
@@ -105,9 +117,14 @@ func RunCensus(opt Options, useTSVSwap bool) Census {
 			sampler := fault.NewSampler(opt.Config, opt.Rates)
 			rowsHist := make(map[int]int)
 			failedHist := make(map[int]int)
+			done := 0
 			withFailure := 0
 			dies := opt.Config.DataDies + opt.Config.ECCDies
 			for t := 0; t < n; t++ {
+				if t%cancelCheckInterval == 0 && ctx.Err() != nil {
+					break
+				}
+				done++
 				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
 				var swapper *tsv.Swapper
 				if useTSVSwap {
@@ -155,6 +172,7 @@ func RunCensus(opt Options, useTSVSwap bool) Census {
 				}
 			}
 			mu.Lock()
+			c.Trials += done
 			for k, v := range rowsHist {
 				c.RowsHistogram[k] += v
 			}
@@ -166,5 +184,8 @@ func RunCensus(opt Options, useTSVSwap bool) Census {
 		}(w, hi-lo)
 	}
 	wg.Wait()
+	if ctx.Err() != nil && c.Trials < opt.Trials {
+		c.Partial = true
+	}
 	return c
 }

@@ -10,6 +10,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,6 +25,11 @@ import (
 
 // DefaultScrubIntervalHours is the paper's 12-hour scrub interval.
 const DefaultScrubIntervalHours = 12
+
+// cancelCheckInterval is how many trials a worker completes between
+// context checks: cancellation latency is bounded by roughly one
+// interval's worth of trials per worker.
+const cancelCheckInterval = 256
 
 // Sparer redirects corrected permanent faults to spare storage (DDS).
 type Sparer interface {
@@ -64,10 +70,15 @@ type Options struct {
 	LifetimeHours      float64 // default: fault.LifetimeHours (7 years)
 	ScrubIntervalHours float64 // default: 12
 	Seed               int64
-	Workers            int // default: GOMAXPROCS
+	// Workers bounds parallelism; it is clamped to [1, GOMAXPROCS]
+	// (0 or negative selects GOMAXPROCS). Note that the worker count
+	// shapes the per-worker RNG streams, so seeded results are
+	// reproducible only for equal effective worker counts.
+	Workers int
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields. It is the single source of truth for
+// effective simulation defaults; citadel.ReliabilityOptions funnels here.
 func (o Options) withDefaults() Options {
 	if o.LifetimeHours == 0 {
 		o.LifetimeHours = fault.LifetimeHours
@@ -78,15 +89,18 @@ func (o Options) withDefaults() Options {
 	if o.Trials == 0 {
 		o.Trials = 100000
 	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+	if max := runtime.GOMAXPROCS(0); o.Workers <= 0 || o.Workers > max {
+		o.Workers = max
 	}
 	return o
 }
 
 // Result summarizes a Monte Carlo run.
 type Result struct {
-	Policy   string
+	Policy string
+	// Trials counts the trials actually completed. It equals the
+	// requested Options.Trials unless the run was cancelled (see
+	// Partial).
 	Trials   int
 	Failures int
 	// FailuresByYear[y] counts trials that failed within the first y+1
@@ -95,6 +109,13 @@ type Result struct {
 	// CauseCounts tallies, per failing trial, the class of the fault whose
 	// arrival made the state uncorrectable — the proximate cause.
 	CauseCounts map[string]int
+	// Partial reports that the run was cancelled before all requested
+	// trials completed; the statistics cover the completed trials only
+	// and remain unbiased (trials are independent).
+	Partial bool
+	// Err records the cancellation cause (context.Canceled or
+	// context.DeadlineExceeded) when Partial is set.
+	Err error
 }
 
 // Probability returns the estimated probability of system failure over the
@@ -127,8 +148,12 @@ func (r Result) CI95() float64 {
 
 // String renders the result in one line.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: P(fail,7y) = %.3g ± %.2g (%d/%d trials)",
+	s := fmt.Sprintf("%s: P(fail,7y) = %.3g ± %.2g (%d/%d trials)",
 		r.Policy, r.Probability(), r.CI95(), r.Failures, r.Trials)
+	if r.Partial {
+		s += " [partial]"
+	}
+	return s
 }
 
 // trialState holds the per-trial simulation state.
@@ -241,13 +266,21 @@ func (ts *trialState) run(faults []fault.Fault) (float64, fault.Class) {
 	return -1, 0
 }
 
-// Run estimates the failure probability of a policy.
+// Run estimates the failure probability of a policy over the full trial
+// budget; it cannot be interrupted (see RunContext).
 func Run(opt Options, pol Policy) Result {
+	return RunContext(context.Background(), opt, pol)
+}
+
+// RunContext estimates the failure probability of a policy. Worker
+// goroutines check ctx between trial batches (cancelCheckInterval); on
+// cancellation the completed trials are merged into a Result marked
+// Partial rather than discarded.
+func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 	opt = opt.withDefaults()
 	years := int(math.Ceil(opt.LifetimeHours / fault.HoursPerYear))
 	res := Result{
 		Policy:         pol.name(),
-		Trials:         opt.Trials,
 		FailuresByYear: make([]int, years),
 		CauseCounts:    make(map[string]int),
 	}
@@ -269,10 +302,15 @@ func Run(opt Options, pol Policy) Result {
 			rng := rand.New(rand.NewSource(opt.Seed + int64(worker)*1e9))
 			sampler := fault.NewSampler(opt.Config, opt.Rates)
 			ts := newTrialState(opt.Config, pol, opt.ScrubIntervalHours)
+			done := 0
 			failures := 0
 			byYear := make([]int, years)
 			causes := make(map[string]int)
 			for t := 0; t < n; t++ {
+				if t%cancelCheckInterval == 0 && ctx.Err() != nil {
+					break
+				}
+				done++
 				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
 				if len(fs) == 0 {
 					continue
@@ -291,6 +329,7 @@ func Run(opt Options, pol Policy) Result {
 				}
 			}
 			mu.Lock()
+			res.Trials += done
 			res.Failures += failures
 			for i := range byYear {
 				res.FailuresByYear[i] += byYear[i]
@@ -302,15 +341,26 @@ func Run(opt Options, pol Policy) Result {
 		}(w, hi-lo)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil && res.Trials < opt.Trials {
+		res.Partial = true
+		res.Err = err
+	}
 	return res
 }
 
 // RunAll evaluates several policies under the same options. Each policy
 // sees an identical fault stream seed, making comparisons paired.
 func RunAll(opt Options, pols []Policy) []Result {
+	return RunAllContext(context.Background(), opt, pols)
+}
+
+// RunAllContext is RunAll under a context: once ctx is cancelled the
+// in-flight policy returns a partial Result and the remaining policies
+// return immediately with zero completed trials, all marked Partial.
+func RunAllContext(ctx context.Context, opt Options, pols []Policy) []Result {
 	out := make([]Result, len(pols))
 	for i, p := range pols {
-		out[i] = Run(opt, p)
+		out[i] = RunContext(ctx, opt, p)
 	}
 	return out
 }

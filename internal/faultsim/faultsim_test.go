@@ -1,8 +1,12 @@
 package faultsim
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/fault"
@@ -10,6 +14,16 @@ import (
 	"repro/internal/sparing"
 	"repro/internal/stack"
 )
+
+// skipInShort gates the statistically heavy tests (tens of thousands of
+// trials) out of `go test -short`, which the race-enabled tier-1 gate
+// uses to stay within CI budget.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy Monte Carlo test skipped in -short mode")
+	}
+}
 
 // testOptions returns fast options with boosted rates so a few thousand
 // trials produce a measurable signal.
@@ -48,6 +62,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 }
 
 func TestNoProtectionMatchesPoissonRate(t *testing.T) {
+	skipInShort(t)
 	opt := testOptions(20000, 10, 0)
 	pol := Policy{Predicate: ecc.NoProtection{}}
 	res := Run(opt, pol)
@@ -62,6 +77,7 @@ func TestNoProtectionMatchesPoissonRate(t *testing.T) {
 }
 
 func TestFailuresByYearMonotone(t *testing.T) {
+	skipInShort(t)
 	opt := testOptions(5000, 20, 0)
 	res := Run(opt, Policy{Predicate: ecc.NewParity(opt.Config, parity.OneDP)})
 	if len(res.FailuresByYear) != 7 {
@@ -78,6 +94,7 @@ func TestFailuresByYearMonotone(t *testing.T) {
 }
 
 func TestParityDimensionOrdering(t *testing.T) {
+	skipInShort(t)
 	// Figure 14's qualitative result: more dimensions, fewer failures.
 	opt := testOptions(8000, 40, 0)
 	r1 := Run(opt, Policy{Predicate: ecc.NewParity(opt.Config, parity.OneDP)})
@@ -93,6 +110,7 @@ func TestParityDimensionOrdering(t *testing.T) {
 }
 
 func TestTSVSwapEffectiveness(t *testing.T) {
+	skipInShort(t)
 	// Figure 9: with TSV-Swap, reliability approaches the no-TSV-fault case
 	// even at the highest swept TSV rate.
 	opt := testOptions(8000, 1, 1430)
@@ -114,6 +132,7 @@ func TestTSVSwapEffectiveness(t *testing.T) {
 }
 
 func TestDDSImprovesOver3DP(t *testing.T) {
+	skipInShort(t)
 	// Figure 18's qualitative result: sparing prevents permanent-fault
 	// accumulation across scrub intervals.
 	opt := testOptions(6000, 20, 0)
@@ -134,6 +153,7 @@ func TestDDSImprovesOver3DP(t *testing.T) {
 }
 
 func TestStripingReliabilityOrdering(t *testing.T) {
+	skipInShort(t)
 	// Figure 4's qualitative result: Across-Channels beats Across-Banks
 	// beats Same-Bank. The separation is cleanest at a moderate TSV rate
 	// (143 FIT): Across-Banks still loses whole lines to every address-TSV
@@ -153,6 +173,7 @@ func TestStripingReliabilityOrdering(t *testing.T) {
 }
 
 func TestCitadelBeatsSymbolCode(t *testing.T) {
+	skipInShort(t)
 	// The headline: TSV-Swap + 3DP + DDS outperforms the striped symbol
 	// code at high TSV rates.
 	opt := testOptions(6000, 20, 1430)
@@ -199,6 +220,7 @@ func TestResultAccessors(t *testing.T) {
 }
 
 func TestCensusBimodal(t *testing.T) {
+	skipInShort(t)
 	opt := testOptions(4000, 100, 0)
 	c := RunCensus(opt, true)
 	if c.FaultyBankTotal() == 0 {
@@ -221,6 +243,7 @@ func TestCensusBimodal(t *testing.T) {
 }
 
 func TestCensusTable3Shape(t *testing.T) {
+	skipInShort(t)
 	// Real Table-I rates: bank failures are rare enough that one failed
 	// bank dominates two.
 	opt := testOptions(60000, 1, 0)
@@ -371,6 +394,7 @@ func TestRunAdaptiveRespectsCap(t *testing.T) {
 }
 
 func TestCauseCountsRecorded(t *testing.T) {
+	skipInShort(t)
 	opt := testOptions(5000, 30, 0)
 	res := Run(opt, Policy{Predicate: ecc.NewParity(opt.Config, parity.OneDP)})
 	if res.Failures == 0 {
@@ -389,5 +413,155 @@ func TestCauseCountsRecorded(t *testing.T) {
 		if cause == "data-tsv" || cause == "addr-tsv" {
 			t.Errorf("TSV cause recorded with zero TSV rate: %v", res.CauseCounts)
 		}
+	}
+}
+
+func TestOptionsDefaultsPinned(t *testing.T) {
+	// The effective defaults are part of the package contract: trials,
+	// scrub cadence, lifetime, and worker clamping must not drift.
+	var o Options
+	d := o.withDefaults()
+	if d.Trials != 100000 {
+		t.Errorf("default Trials = %d, want 100000", d.Trials)
+	}
+	if d.ScrubIntervalHours != DefaultScrubIntervalHours {
+		t.Errorf("default ScrubIntervalHours = %v, want %v", d.ScrubIntervalHours, float64(DefaultScrubIntervalHours))
+	}
+	if d.LifetimeHours != fault.LifetimeHours {
+		t.Errorf("default LifetimeHours = %v, want %v", d.LifetimeHours, fault.LifetimeHours)
+	}
+	max := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{0, -1, -100, max + 1, max + 1000} {
+		o := Options{Workers: workers}
+		if got := o.withDefaults().Workers; got != max {
+			t.Errorf("Workers=%d clamped to %d, want GOMAXPROCS=%d", workers, got, max)
+		}
+	}
+	o2 := Options{Workers: 1}
+	if got := o2.withDefaults().Workers; got != 1 {
+		t.Errorf("Workers=1 changed to %d", got)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := testOptions(10000, 10, 0)
+	res := RunContext(ctx, opt, Policy{Predicate: ecc.NewParity(opt.Config, parity.ThreeDP)})
+	if !res.Partial {
+		t.Error("pre-cancelled run not marked Partial")
+	}
+	if res.Trials != 0 {
+		t.Errorf("pre-cancelled run completed %d trials, want 0", res.Trials)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", res.Err)
+	}
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	// A large run cancelled shortly after start must return promptly with
+	// the trials completed so far.
+	opt := testOptions(4_000_000, 1, 0)
+	opt.Seed = 11
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := RunContext(ctx, opt, Policy{Predicate: ecc.NoProtection{}})
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if !res.Partial {
+		t.Fatal("cancelled run not marked Partial")
+	}
+	if res.Trials <= 0 || res.Trials >= opt.Trials {
+		t.Errorf("partial Trials = %d, want in (0, %d)", res.Trials, opt.Trials)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", res.Err)
+	}
+	// The partial estimate is still an unbiased sample: its failure count
+	// must be consistent with the trials that did run.
+	if res.Failures > res.Trials {
+		t.Errorf("failures %d exceed completed trials %d", res.Failures, res.Trials)
+	}
+}
+
+func TestRunContextCompleteRunNotPartial(t *testing.T) {
+	// A context that is still live when the trial budget finishes must not
+	// mark the result partial.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := testOptions(1000, 10, 0)
+	res := RunContext(ctx, opt, Policy{Predicate: ecc.NewParity(opt.Config, parity.ThreeDP)})
+	if res.Partial || res.Err != nil {
+		t.Errorf("complete run marked partial: %+v", res)
+	}
+	if res.Trials != opt.Trials {
+		t.Errorf("Trials = %d, want %d", res.Trials, opt.Trials)
+	}
+}
+
+func TestRunCensusContextCancel(t *testing.T) {
+	opt := testOptions(4_000_000, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	c := RunCensusContext(ctx, opt, true)
+	if !c.Partial {
+		t.Fatal("cancelled census not marked Partial")
+	}
+	if c.Trials <= 0 || c.Trials >= opt.Trials {
+		t.Errorf("partial census Trials = %d, want in (0, %d)", c.Trials, opt.Trials)
+	}
+}
+
+func TestRunAdaptiveContextCancel(t *testing.T) {
+	// Adaptive mode keeps adding batches until the failure target; a
+	// cancelled context must stop it at a batch boundary with Partial set.
+	opt := AdaptiveOptions{
+		Options:        testOptions(1000, 1, 0),
+		TargetFailures: 1_000_000, // unreachable
+		BatchTrials:    1000,
+		MaxTrials:      50_000_000,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := RunAdaptiveContext(ctx, opt, Policy{Predicate: ecc.NewParity(opt.Config, parity.ThreeDP)})
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancelled adaptive run took %v", elapsed)
+	}
+	if !r.Partial {
+		t.Error("cancelled adaptive run not marked Partial")
+	}
+	if r.Trials <= 0 || r.Trials >= opt.MaxTrials {
+		t.Errorf("partial adaptive Trials = %d", r.Trials)
+	}
+}
+
+func TestMergePropagatesPartial(t *testing.T) {
+	a := Result{Policy: "x", Trials: 100, Failures: 1, FailuresByYear: make([]int, 7)}
+	b := Result{Policy: "x", Trials: 50, Failures: 1, FailuresByYear: make([]int, 7),
+		Partial: true, Err: context.Canceled}
+	m := Merge(a, b)
+	if !m.Partial {
+		t.Error("merge of a partial result not marked Partial")
+	}
+	if !errors.Is(m.Err, context.Canceled) {
+		t.Errorf("merged Err = %v", m.Err)
+	}
+	m2 := Merge(a, Result{Policy: "x", Trials: 10, FailuresByYear: make([]int, 7)})
+	if m2.Partial || m2.Err != nil {
+		t.Error("merge of complete results spuriously marked Partial")
 	}
 }

@@ -1,6 +1,8 @@
 package perfsim
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/stack"
 	"repro/internal/workload"
@@ -14,6 +16,9 @@ type ParityCacheResult struct {
 	Suite        workload.Suite
 	ParityHits   uint64
 	ParityProbes uint64
+	// Partial reports that the measurement was cancelled early; the hit
+	// rate covers the requests simulated before cancellation.
+	Partial bool
 }
 
 // HitRate returns the parity-update hit rate.
@@ -35,6 +40,13 @@ const parityTag = uint64(1) << 40
 // parity lines between uses, which is why BioBench sees lower hit rates
 // (paper Figure 13).
 func ParityCacheHitRate(prof workload.Profile, llcBytes, ways, requests int, seed int64) ParityCacheResult {
+	return ParityCacheHitRateContext(context.Background(), prof, llcBytes, ways, requests, seed)
+}
+
+// ParityCacheHitRateContext is ParityCacheHitRate under a context:
+// cancellation stops the request stream and returns the hit statistics
+// gathered so far, marked Partial.
+func ParityCacheHitRateContext(ctx context.Context, prof workload.Profile, llcBytes, ways, requests int, seed int64) ParityCacheResult {
 	cfg := stack.DefaultConfig()
 	llc, err := cache.New(llcBytes, ways, cfg.LineBytes)
 	if err != nil {
@@ -44,6 +56,10 @@ func ParityCacheHitRate(prof workload.Profile, llcBytes, ways, requests int, see
 	s := &sim{cfg: Config{Stack: cfg}}
 	res := ParityCacheResult{Benchmark: prof.Name, Suite: prof.Suite}
 	for i := 0; i < requests; i++ {
+		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+			res.Partial = true
+			break
+		}
 		req := gen.Next()
 		addr := req.LineAddr * uint64(cfg.LineBytes)
 		r := llc.Access(addr, req.Write)

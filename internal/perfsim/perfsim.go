@@ -18,12 +18,17 @@
 package perfsim
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/power"
 	"repro/internal/stack"
 	"repro/internal/workload"
 )
+
+// cancelCheckInterval is how many requests the simulator serves between
+// context checks; cancellation latency is bounded by one interval.
+const cancelCheckInterval = 1024
 
 // Timing holds DRAM timing parameters in memory-bus clock cycles
 // (Table II: tWTR-tCAS-tRCD-tRP-tRAS = 7-9-9-9-36, 800 MHz bus).
@@ -110,6 +115,12 @@ type Stats struct {
 	ReadLatencySum float64
 	// Power tallies DRAM operations for the power model.
 	Power power.Counts
+	// RequestsDone counts the requests actually simulated; fewer than
+	// Config.Requests when the run was cancelled (see Partial).
+	RequestsDone int
+	// Partial reports that the run was cancelled before serving every
+	// requested memory request.
+	Partial bool
 }
 
 // CPI returns cycles per instruction in core clocks.
@@ -154,8 +165,16 @@ type sim struct {
 	rng   *rand.Rand
 }
 
-// Run simulates the profile under the configuration.
+// Run simulates the profile under the configuration; it cannot be
+// interrupted (see RunContext).
 func Run(prof workload.Profile, cfg Config) Stats {
+	return RunContext(context.Background(), prof, cfg)
+}
+
+// RunContext simulates the profile under the configuration, checking ctx
+// between request batches. A cancelled run returns the statistics of the
+// requests served so far with Partial set.
+func RunContext(ctx context.Context, prof workload.Profile, cfg Config) Stats {
 	if cfg.Requests == 0 {
 		cfg.Requests = 100000
 	}
@@ -185,8 +204,13 @@ func Run(prof workload.Profile, cfg Config) Stats {
 	}
 	var lastICount uint64
 	for i := 0; i < cfg.Requests; i++ {
+		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+			s.stats.Partial = true
+			break
+		}
 		req := next()
 		s.serve(req)
+		s.stats.RequestsDone++
 		if req.ICount > lastICount {
 			lastICount = req.ICount
 		}

@@ -1,7 +1,9 @@
 package perfsim
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/power"
 	"repro/internal/stack"
@@ -224,5 +226,53 @@ func TestTraceReplayMatchesGenerator(t *testing.T) {
 	viaTrace := Run(p, replay)
 	if direct != viaTrace {
 		t.Errorf("trace replay diverged:\n%+v\n%+v", direct, viaTrace)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p := prof(t, "mcf")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	requests := 50_000_000
+	start := time.Now()
+	st := RunContext(ctx, p, runCfg(stack.SameBank, Overheads{}, requests))
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if !st.Partial {
+		t.Fatal("cancelled run not marked Partial")
+	}
+	if st.RequestsDone <= 0 || st.RequestsDone >= requests {
+		t.Errorf("RequestsDone = %d, want in (0, %d)", st.RequestsDone, requests)
+	}
+	if st.Cycles == 0 {
+		t.Error("partial run has no cycle count")
+	}
+}
+
+func TestRunContextCompleteNotPartial(t *testing.T) {
+	p := prof(t, "mcf")
+	st := RunContext(context.Background(), p, runCfg(stack.SameBank, Overheads{}, 5000))
+	if st.Partial {
+		t.Error("complete run marked Partial")
+	}
+	if st.RequestsDone != 5000 {
+		t.Errorf("RequestsDone = %d, want 5000", st.RequestsDone)
+	}
+}
+
+func TestParityCacheHitRateContextCancel(t *testing.T) {
+	p := prof(t, "lbm")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := ParityCacheHitRateContext(ctx, p, 8<<20, 8, 1_000_000, 1)
+	if !r.Partial {
+		t.Error("pre-cancelled measurement not marked Partial")
+	}
+	if r.ParityProbes != 0 {
+		t.Errorf("pre-cancelled measurement probed %d times", r.ParityProbes)
 	}
 }

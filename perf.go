@@ -1,6 +1,7 @@
 package citadel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/perfsim"
@@ -75,10 +76,24 @@ type PerfResult struct {
 	// AvgReadLatencyCycles is the mean demand-read latency in memory-bus
 	// cycles (queueing included).
 	AvgReadLatencyCycles float64
+	// RequestsDone counts the memory requests actually simulated; fewer
+	// than requested when the run was cancelled (see Partial).
+	RequestsDone int
+	// Partial reports that the simulation was cancelled before serving
+	// every requested memory request.
+	Partial bool
 }
 
-// SimulatePerformance runs the timing/power model for one benchmark.
+// SimulatePerformance runs the timing/power model for one benchmark; it
+// cannot be interrupted (see SimulatePerformanceContext).
 func SimulatePerformance(b Benchmark, opts PerfOptions) PerfResult {
+	return SimulatePerformanceContext(context.Background(), b, opts)
+}
+
+// SimulatePerformanceContext runs the timing/power model for one
+// benchmark, checking ctx between request batches. A cancelled run
+// returns the statistics of the requests served so far with Partial set.
+func SimulatePerformanceContext(ctx context.Context, b Benchmark, opts PerfOptions) PerfResult {
 	cfg := perfsim.DefaultConfig()
 	if opts.Config.Stacks != 0 {
 		cfg.Stack = opts.Config
@@ -98,7 +113,7 @@ func SimulatePerformance(b Benchmark, opts PerfOptions) PerfResult {
 	case Protection3DPNoCache:
 		cfg.Overhead = perfsim.Citadel3DPNoCache()
 	}
-	st := perfsim.Run(b, cfg)
+	st := perfsim.RunContext(ctx, b, cfg)
 	pp := power.Default8Gb()
 	return PerfResult{
 		Benchmark:            b.Name,
@@ -107,6 +122,8 @@ func SimulatePerformance(b Benchmark, opts PerfOptions) PerfResult {
 		ActivePowerWatts:     pp.ActivePower(st.Power),
 		RowHitRate:           st.RowHitRate(),
 		AvgReadLatencyCycles: st.AvgReadLatency(),
+		RequestsDone:         st.RequestsDone,
+		Partial:              st.Partial,
 	}
 }
 
@@ -116,8 +133,15 @@ type ParityCacheResult = perfsim.ParityCacheResult
 // MeasureParityCaching simulates on-demand Dimension-1 parity caching in
 // the LLC and returns the parity-update hit rate (Figure 13).
 func MeasureParityCaching(b Benchmark, requests int, seed int64) ParityCacheResult {
+	return MeasureParityCachingContext(context.Background(), b, requests, seed)
+}
+
+// MeasureParityCachingContext is MeasureParityCaching under a context: a
+// cancelled measurement returns the hit statistics gathered so far,
+// marked Partial.
+func MeasureParityCachingContext(ctx context.Context, b Benchmark, requests int, seed int64) ParityCacheResult {
 	if requests == 0 {
 		requests = 200000
 	}
-	return perfsim.ParityCacheHitRate(b, 8<<20, 8, requests, seed)
+	return perfsim.ParityCacheHitRateContext(ctx, b, 8<<20, 8, requests, seed)
 }
