@@ -27,6 +27,7 @@ package citadel
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/fault"
@@ -198,15 +199,24 @@ type ReliabilityOptions struct {
 	// TSVSwap forces TSV-SWAP on for every scheme (the paper enables it
 	// for all systems after §V-D).
 	TSVSwap bool
-	// Seed makes runs reproducible.
+	// Seed makes runs reproducible. See DESIGN.md "Reproducibility
+	// contract": equal (Seed, Workers) pairs give bit-identical results.
 	Seed int64
 	// Workers bounds parallelism; the engine clamps it to
 	// [1, GOMAXPROCS] (0 or negative selects GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, receives periodic run snapshots plus a
+	// final one with Done set (see faultsim.Options.Progress).
+	Progress func(RunProgress)
+	// ProgressInterval throttles Progress callbacks (default 1s).
+	ProgressInterval time.Duration
 }
 
 // Result is the outcome of a reliability run.
 type Result = faultsim.Result
+
+// RunProgress is a point-in-time snapshot of a reliability run.
+type RunProgress = faultsim.Progress
 
 // withDefaults fills zero fields. Trials and ScrubIntervalHours are
 // filled here to match their doc comments; faultsim.Options.withDefaults
@@ -242,6 +252,8 @@ func (o ReliabilityOptions) engineOptions() faultsim.Options {
 		ScrubIntervalHours: o.ScrubIntervalHours,
 		Seed:               o.Seed,
 		Workers:            o.Workers,
+		Progress:           o.Progress,
+		ProgressInterval:   o.ProgressInterval,
 	}
 }
 

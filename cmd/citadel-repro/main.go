@@ -34,6 +34,7 @@ func main() {
 		requests   = flag.Int("requests", 0, "performance-model requests (0 = default)")
 		seed       = flag.Int64("seed", 42, "random seed")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON lines")
+		progress   = flag.Bool("progress", true, "report finished experiment phases on stderr")
 	)
 	flag.Parse()
 
@@ -45,6 +46,13 @@ func main() {
 		opt.Requests = *requests
 	}
 	opt.Seed = *seed
+	// Phase reports on stderr so an interrupted sweep shows how far it got
+	// without polluting the report stream on stdout.
+	if *progress {
+		opt.Progress = func(ev experiments.PhaseEvent) {
+			fmt.Fprintf(os.Stderr, "[%s] %s (%.1fs)\n", ev.Experiment, ev.Phase, ev.Elapsed.Seconds())
+		}
+	}
 
 	ids := []string{*experiment}
 	switch *experiment {

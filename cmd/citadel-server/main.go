@@ -14,6 +14,11 @@
 //	GET  /api/v1/overhead
 //	POST /api/v1/reliability   {"scheme":"Citadel","trials":100000,"tsvFit":1430,"tsvSwap":true}
 //	POST /api/v1/performance   {"benchmark":"mcf","striping":"across-channels"}
+//	GET  /metrics              Prometheus text metrics (engine + API counters)
+//	GET  /debug/pprof/         live profiling (only with -pprof)
+//
+// Every simulation run gets a run ID, returned in the X-Run-Id response
+// header and stamped on the run's start/done log lines.
 //
 // Operational behavior: at most -max-concurrent simulations run at once
 // (excess requests wait up to -queue-wait, then get 429 + Retry-After);
@@ -46,6 +51,7 @@ func main() {
 		queueWait     = flag.Duration("queue-wait", 2*time.Second, "how long a request may wait for a simulation slot before 429")
 		simTimeout    = flag.Duration("sim-timeout", 5*time.Minute, "per-request simulation deadline (expired runs return partial results)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "shutdown: how long to wait for in-flight runs before cancelling them")
+		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 	)
 	flag.Parse()
 
@@ -53,6 +59,7 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		QueueWait:     *queueWait,
 		SimTimeout:    *simTimeout,
+		EnablePprof:   *enablePprof,
 	})
 
 	// baseCtx underlies every request context: cancelling it (when the
@@ -75,8 +82,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("citadel-server listening on %s (max %d concurrent simulations, sim timeout %s)",
-			*addr, apiSrv.Capacity(), *simTimeout)
+		log.Printf("citadel-server listening on %s (max %d concurrent simulations, sim timeout %s, metrics at /metrics, pprof %v)",
+			*addr, apiSrv.Capacity(), *simTimeout, *enablePprof)
 		errCh <- srv.ListenAndServe()
 	}()
 

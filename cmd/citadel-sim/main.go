@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	citadel "repro"
 	"repro/internal/fault"
@@ -35,6 +36,7 @@ func main() {
 		ratesPath  = flag.String("rates", "", "JSON file with custom FIT rates (overrides Table I)")
 		targetFail = flag.Int("target-failures", 0, "adaptive mode: add trials until this many failures")
 		maxTrials  = flag.Int("max-trials", 0, "adaptive mode: trial cap (default 10x -trials)")
+		progress   = flag.Duration("progress", 2*time.Second, "progress report interval on stderr (0 disables)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,20 @@ func main() {
 		ScrubIntervalHours: *scrub,
 		TSVSwap:            *tsvSwap,
 		Seed:               *seed,
+	}
+	// Periodic progress on stderr, so a long or interrupted run shows what
+	// it was doing. The final snapshot (Done) is skipped: the result line
+	// below carries the same numbers.
+	if *progress > 0 {
+		opts.ProgressInterval = *progress
+		opts.Progress = func(p citadel.RunProgress) {
+			if p.Done {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "progress: %s trials=%d/%d failures=%d scrubs=%d rate=%.0f trials/s elapsed=%s\n",
+				p.Policy, p.TrialsDone, p.TrialsTarget, p.Failures, p.ScrubPasses,
+				p.TrialsPerSec(), p.Elapsed.Round(time.Second))
+		}
 	}
 	// Ctrl-C cancels the run; the engine returns within one trial batch
 	// and we report the statistics gathered so far.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -26,6 +27,22 @@ import (
 	"time"
 
 	citadel "repro"
+	"repro/internal/obs"
+)
+
+// Server-level metrics, exposed at GET /metrics alongside the engine
+// metrics. They are process-wide: multiple Server instances (as in tests)
+// share them, which is why acquire/release updates the gauge with paired
+// deltas instead of overwriting it.
+var (
+	mHTTPRequests = obs.Default().Counter("citadel_api_requests_total",
+		"HTTP requests served by the API.")
+	mSimRuns = obs.Default().Counter("citadel_api_sim_runs_total",
+		"Simulation runs started via the API.")
+	mSimShed = obs.Default().Counter("citadel_api_shed_total",
+		"Simulation requests shed with 429 at capacity.")
+	mInFlight = obs.Default().Gauge("citadel_api_inflight_runs",
+		"Simulation runs currently executing.")
 )
 
 // Options tunes the server's robustness envelope. The zero value selects
@@ -46,6 +63,9 @@ type Options struct {
 	MaxBodyBytes int64
 	// Logf sinks server logs (default log.Printf).
 	Logf func(format string, args ...any)
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
+	// profiling. Off by default; enable only on trusted networks.
+	EnablePprof bool
 }
 
 // withDefaults fills zero fields.
@@ -106,6 +126,8 @@ func (s *Server) Drain() { s.draining.Store(true) }
 //	GET  /api/v1/overhead     Citadel storage-overhead accounting
 //	POST /api/v1/reliability  run a Monte Carlo study
 //	POST /api/v1/performance  run the timing/power model
+//	GET  /metrics             Prometheus text metrics (engine + API)
+//	GET  /debug/pprof/...     live profiling (only with Options.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
@@ -115,6 +137,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/overhead", s.handleOverhead)
 	mux.HandleFunc("POST /api/v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /api/v1/performance", s.handlePerformance)
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s.recoverer(mux)
 }
 
@@ -139,6 +170,7 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 // the connection (and, pre-Go-1.8-style, the process).
 func (s *Server) recoverer(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mHTTPRequests.Inc()
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if v := recover(); v != nil {
@@ -192,9 +224,16 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 // server is saturated it answers 429 with a Retry-After hint and reports
 // false — backpressure instead of unbounded pile-up.
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	grant := func() func() {
+		mInFlight.Inc()
+		return func() {
+			mInFlight.Dec()
+			<-s.sem
+		}
+	}
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
+		return grant(), true
 	default:
 	}
 	if s.opts.QueueWait > 0 {
@@ -202,12 +241,13 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (release func()
 		defer t.Stop()
 		select {
 		case s.sem <- struct{}{}:
-			return func() { <-s.sem }, true
+			return grant(), true
 		case <-r.Context().Done():
 			// Client gave up while queued; the response goes nowhere.
 		case <-t.C:
 		}
 	}
+	mSimShed.Inc()
 	retry := int(s.opts.QueueWait / time.Second)
 	if retry < 1 {
 		retry = 1
@@ -346,6 +386,12 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.simContext(r)
 	defer cancel()
+	runID := obs.NewRunID()
+	w.Header().Set("X-Run-Id", runID)
+	mSimRuns.Inc()
+	start := time.Now()
+	s.opts.Logf("api: run=%s kind=reliability scheme=%s trials=%d targetFailures=%d seed=%d start",
+		runID, req.Scheme, req.Trials, req.TargetFailures, req.Seed)
 	opts := citadel.ReliabilityOptions{
 		Rates:              citadel.Table1Rates().WithTSV(req.TSVFIT),
 		Trials:             req.Trials,
@@ -360,6 +406,8 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	} else {
 		res = citadel.SimulateReliabilityContext(ctx, opts, scheme)
 	}
+	s.opts.Logf("api: run=%s kind=reliability scheme=%s trials=%d failures=%d partial=%t duration=%s done",
+		runID, req.Scheme, res.Trials, res.Failures, res.Partial, time.Since(start).Round(time.Millisecond))
 	byYear := make([]float64, len(res.FailuresByYear))
 	for y := range byYear {
 		byYear[y] = res.ProbabilityByYear(y + 1)
@@ -451,10 +499,18 @@ func (s *Server) handlePerformance(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.simContext(r)
 	defer cancel()
+	runID := obs.NewRunID()
+	w.Header().Set("X-Run-Id", runID)
+	mSimRuns.Inc()
+	start := time.Now()
+	s.opts.Logf("api: run=%s kind=performance benchmark=%s striping=%s protection=%s requests=%d seed=%d start",
+		runID, req.Benchmark, req.Striping, req.Protection, req.Requests, req.Seed)
 	base := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{Requests: req.Requests, Seed: req.Seed})
 	res := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{
 		Striping: striping, Protection: prot, Requests: req.Requests, Seed: req.Seed,
 	})
+	s.opts.Logf("api: run=%s kind=performance benchmark=%s requestsDone=%d partial=%t duration=%s done",
+		runID, req.Benchmark, res.RequestsDone, base.Partial || res.Partial, time.Since(start).Round(time.Millisecond))
 	// Guard the ratios: a cancelled base run can have zero cycles, and
 	// NaN/Inf are not encodable as JSON.
 	normTime, normPower := 0.0, 0.0

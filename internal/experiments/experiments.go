@@ -10,9 +10,20 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	citadel "repro"
+	"repro/internal/obs"
 	"repro/internal/workload"
+)
+
+// Phase-level metrics, exposed by cmd/citadel-server at GET /metrics.
+var (
+	mPhases = obs.Default().Counter("citadel_experiments_phases_total",
+		"Experiment phases (benchmarks, sweep points, Monte Carlo passes) completed.")
+	mPhaseSeconds = obs.Default().Histogram("citadel_experiments_phase_seconds",
+		"Wall-clock duration of experiment phases in seconds.",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300})
 )
 
 // Report is one regenerated table or figure.
@@ -34,11 +45,33 @@ type Options struct {
 	Requests int
 	// Seed makes every experiment deterministic.
 	Seed int64
+	// Progress, when non-nil, is called after each completed phase of an
+	// experiment — a benchmark, a sweep point, a Monte Carlo pass — so a
+	// cancelled run shows how far it got and where the time went.
+	Progress func(PhaseEvent)
 
 	// ctx carries the cancellation signal installed by RunContext; nil
 	// means context.Background(). Unexported so Options stays a value
 	// type constructed by callers with struct literals.
 	ctx context.Context
+}
+
+// PhaseEvent reports one completed unit of an experiment's work.
+type PhaseEvent struct {
+	Experiment string // "fig15", "fig4", ...
+	Phase      string // benchmark name, sweep point, or pass label
+	Elapsed    time.Duration
+}
+
+// phase records one completed phase into the global metrics and the
+// Progress hook.
+func (o Options) phase(experiment, name string, start time.Time) {
+	d := time.Since(start)
+	mPhases.Inc()
+	mPhaseSeconds.Observe(d.Seconds())
+	if o.Progress != nil {
+		o.Progress(PhaseEvent{Experiment: experiment, Phase: name, Elapsed: d})
+	}
 }
 
 // context returns the run's cancellation context.
@@ -166,6 +199,7 @@ func Fig4(opt Options) Report {
 			rep.Partial = true
 			break
 		}
+		phaseStart := time.Now()
 		o := relOpts(opt, fit, false)
 		rs := citadel.CompareReliabilityContext(ctx, o,
 			citadel.SchemeSymbol8SameBank,
@@ -174,6 +208,7 @@ func Fig4(opt Options) Report {
 		rep.Partial = rep.Partial || anyPartial(rs)
 		fmt.Fprintf(&b, "%-12.0f %-24s %-24s %-24s\n", fit,
 			probString(rs[0]), probString(rs[1]), probString(rs[2]))
+		opt.phase("fig4", fmt.Sprintf("tsv-fit=%.0f", fit), phaseStart)
 	}
 	rep.Text = b.String()
 	return rep
@@ -205,7 +240,7 @@ func probString(r citadel.Result) string {
 // Cancellation stops after the current benchmark; the means then cover
 // the benchmarks finished so far (partial=true), or come back 1.0 when
 // none finished.
-func geomeanPerf(opt Options, striping citadel.Striping, prot citadel.Protection) (exec, power float64, partial bool) {
+func geomeanPerf(opt Options, id string, striping citadel.Striping, prot citadel.Protection) (exec, power float64, partial bool) {
 	ctx := opt.context()
 	var ge, gp float64
 	n := 0
@@ -214,6 +249,7 @@ func geomeanPerf(opt Options, striping citadel.Striping, prot citadel.Protection
 			partial = true
 			break
 		}
+		phaseStart := time.Now()
 		base := citadel.SimulatePerformanceContext(ctx, prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
 		run := citadel.SimulatePerformanceContext(ctx, prof, citadel.PerfOptions{
 			Striping: striping, Protection: prot, Requests: opt.Requests, Seed: opt.Seed,
@@ -227,6 +263,7 @@ func geomeanPerf(opt Options, striping citadel.Striping, prot citadel.Protection
 		ge += math.Log(float64(run.Cycles) / float64(base.Cycles))
 		gp += math.Log(run.ActivePowerWatts / base.ActivePowerWatts)
 		n++
+		opt.phase(id, fmt.Sprintf("%s/%s", striping, prof.Name), phaseStart)
 	}
 	if n == 0 {
 		return 1, 1, true
@@ -241,7 +278,7 @@ func Fig5(opt Options) Report {
 	fmt.Fprintf(&b, "%-18s %22s %22s\n", "Mapping", "Norm. execution time", "Norm. active power")
 	fmt.Fprintf(&b, "%-18s %22.3f %22.2f\n", "Same-Bank", 1.0, 1.0)
 	for _, s := range []citadel.Striping{citadel.AcrossBanks, citadel.AcrossChannels} {
-		e, p, partial := geomeanPerf(opt, s, citadel.NoProtection)
+		e, p, partial := geomeanPerf(opt, "fig5", s, citadel.NoProtection)
 		rep.Partial = rep.Partial || partial
 		fmt.Fprintf(&b, "%-18s %22.3f %22.2f\n", s, e, p)
 	}
@@ -265,12 +302,14 @@ func Fig9(opt Options) Report {
 			rep.Partial = true
 			break
 		}
+		phaseStart := time.Now()
 		noSwap := citadel.SimulateReliabilityContext(ctx, relOpts(opt, 1430, false), s)
 		withSwap := citadel.SimulateReliabilityContext(ctx, relOpts(opt, 1430, true), s)
 		noTSV := citadel.SimulateReliabilityContext(ctx, relOpts(opt, 0, false), s)
 		rep.Partial = rep.Partial || noSwap.Partial || withSwap.Partial || noTSV.Partial
 		fmt.Fprintf(&b, "%-26s %-16s %-16s %-16s\n", s,
 			probString(noSwap), probString(withSwap), probString(noTSV))
+		opt.phase("fig9", s.String(), phaseStart)
 	}
 	rep.Text = b.String()
 	return rep
@@ -283,6 +322,7 @@ func Fig13(opt Options) Report {
 	suiteSum := map[workload.Suite]float64{}
 	suiteN := map[workload.Suite]int{}
 	for _, prof := range citadel.Benchmarks() {
+		phaseStart := time.Now()
 		r := citadel.MeasureParityCachingContext(ctx, prof, opt.Requests*3, opt.Seed)
 		if r.Partial {
 			// A truncated measurement would skew its suite's average.
@@ -291,6 +331,7 @@ func Fig13(opt Options) Report {
 		}
 		suiteSum[prof.Suite] += r.HitRate()
 		suiteN[prof.Suite]++
+		opt.phase("fig13", prof.Name, phaseStart)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %18s\n", "Suite", "Parity hit rate")
@@ -354,10 +395,12 @@ func yearCurves(b *strings.Builder, rs []citadel.Result) {
 
 // Fig14 compares 1DP/2DP/3DP against the striped symbol code over years.
 func Fig14(opt Options) Report {
+	phaseStart := time.Now()
 	o := relOpts(opt, 0, true) // all systems employ TSV-Swap (paper §V-D)
 	rs := citadel.CompareReliabilityContext(opt.context(), o,
 		citadel.SchemeSymbol8AcrossChannels,
 		citadel.Scheme1DP, citadel.Scheme2DP, citadel.Scheme3DP)
+	opt.phase("fig14", "monte-carlo", phaseStart)
 	var b strings.Builder
 	yearCurves(&b, rs)
 	if rs[3].Failures > 0 {
@@ -385,6 +428,7 @@ func Fig15(opt Options) Report {
 			rep.Partial = true
 			break
 		}
+		phaseStart := time.Now()
 		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
 		get := func(s citadel.Striping, p citadel.Protection) float64 {
 			r := citadel.SimulatePerformance(prof, citadel.PerfOptions{
@@ -402,6 +446,7 @@ func Fig15(opt Options) Report {
 		sum.gab += math.Log(ab)
 		sum.gac += math.Log(ac)
 		n++
+		opt.phase("fig15", prof.Name, phaseStart)
 	}
 	if n > 0 {
 		e := func(x float64) float64 { return math.Exp(x / float64(n)) }
@@ -427,6 +472,7 @@ func Fig16(opt Options) Report {
 			rep.Partial = true
 			break
 		}
+		phaseStart := time.Now()
 		base := citadel.SimulatePerformance(prof, citadel.PerfOptions{Requests: opt.Requests, Seed: opt.Seed})
 		get := func(s citadel.Striping, p citadel.Protection) float64 {
 			r := citadel.SimulatePerformance(prof, citadel.PerfOptions{
@@ -450,6 +496,7 @@ func Fig16(opt Options) Report {
 		total.ab += ab
 		total.ac += ac
 		total.n++
+		opt.phase("fig16", prof.Name, phaseStart)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %8s %14s %16s\n", "Suite", "3DP", "Across-Banks", "Across-Channels")
@@ -478,7 +525,9 @@ func Fig17(opt Options) Report {
 	o.Rates.ColumnPermanent *= 50
 	o.Rates.RowPermanent *= 50
 	o.Rates.BankPermanent *= 50
+	phaseStart := time.Now()
 	c := citadel.RunFaultCensusContext(opt.context(), o)
+	opt.phase("fig17", "census", phaseStart)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %12s %10s\n", "Rows needed for sparing", "Faulty banks", "Percent")
 	for _, rows := range c.SortedRowCounts() {
@@ -506,7 +555,9 @@ func pctBelow(c citadel.FaultCensus, limit int) float64 {
 // Table3 reports the failed-banks-per-system distribution.
 func Table3(opt Options) Report {
 	o := relOpts(opt, 0, true)
+	phaseStart := time.Now()
 	c := citadel.RunFaultCensusContext(opt.context(), o)
+	opt.phase("table3", "census", phaseStart)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-18s %12s\n", "Num faulty banks", "Probability")
 	fmt.Fprintf(&b, "%-18d %11.2f%%\n", 1, c.FailedBanksPercent(1, false))
@@ -520,10 +571,12 @@ func Table3(opt Options) Report {
 // Fig18 compares 3DP and 3DP+DDS against the striped symbol code.
 func Fig18(opt Options) Report {
 	o := relOpts(opt, 0, true)
+	phaseStart := time.Now()
 	rs := citadel.CompareReliabilityContext(opt.context(), o,
 		citadel.SchemeSymbol8AcrossChannels,
 		citadel.Scheme3DP,
 		citadel.Scheme3DPDDS)
+	opt.phase("fig18", "monte-carlo", phaseStart)
 	var b strings.Builder
 	yearCurves(&b, rs)
 	if rs[2].Failures > 0 {
@@ -539,10 +592,12 @@ func Fig18(opt Options) Report {
 // Fig19 compares Citadel with 6EC7ED and RAID-5 (no TSV faults).
 func Fig19(opt Options) Report {
 	o := relOpts(opt, 0, false)
+	phaseStart := time.Now()
 	rs := citadel.CompareReliabilityContext(opt.context(), o,
 		citadel.SchemeBCH6EC7ED,
 		citadel.SchemeRAID5,
 		citadel.Scheme3DPDDS)
+	opt.phase("fig19", "monte-carlo", phaseStart)
 	rs[2].Policy = "Citadel"
 	var b strings.Builder
 	yearCurves(&b, rs)

@@ -3,6 +3,7 @@ package faultsim
 import (
 	"context"
 	"math"
+	"time"
 
 	"repro/internal/fault"
 )
@@ -39,19 +40,36 @@ func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
 }
 
 // Merge combines two independent runs of the same policy. A partial
-// input yields a partial merged result.
+// input yields a partial merged result carrying the first non-nil
+// cancellation cause, whichever side it came from.
+//
+// FailuresByYear slices of different lengths (a zero-value accumulator,
+// or runs with different LifetimeHours) merge into the longer horizon:
+// within the shorter run's horizon the cumulative counts add directly,
+// and beyond it the shorter run contributes its final cumulative count
+// (a trial that failed by year y has certainly failed by every later
+// year; failures the shorter run never simulated are necessarily
+// missing either way).
 func Merge(a, b Result) Result {
 	out := a
 	out.Trials += b.Trials
 	out.Failures += b.Failures
 	out.Partial = a.Partial || b.Partial
+	out.Err = a.Err
 	if out.Err == nil {
 		out.Err = b.Err
 	}
-	if len(b.FailuresByYear) == len(a.FailuresByYear) {
-		out.FailuresByYear = append([]int(nil), a.FailuresByYear...)
-		for i := range b.FailuresByYear {
-			out.FailuresByYear[i] += b.FailuresByYear[i]
+	long, short := a.FailuresByYear, b.FailuresByYear
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out.FailuresByYear = append([]int(nil), long...)
+	for i := range out.FailuresByYear {
+		switch {
+		case i < len(short):
+			out.FailuresByYear[i] += short[i]
+		case len(short) > 0:
+			out.FailuresByYear[i] += short[len(short)-1]
 		}
 	}
 	out.CauseCounts = make(map[string]int, len(a.CauseCounts)+len(b.CauseCounts))
@@ -80,6 +98,8 @@ func RunAdaptiveContext(ctx context.Context, opt AdaptiveOptions, pol Policy) Re
 	total.Policy = pol.name()
 	years := int(math.Ceil(opt.LifetimeHours / fault.HoursPerYear))
 	total.FailuresByYear = make([]int, years)
+	var scrubsSoFar int64
+	start := time.Now()
 	batch := 0
 	for total.Trials < opt.MaxTrials && total.Failures < opt.TargetFailures {
 		if err := ctx.Err(); err != nil {
@@ -92,14 +112,48 @@ func RunAdaptiveContext(ctx context.Context, opt AdaptiveOptions, pol Policy) Re
 		if remaining := opt.MaxTrials - total.Trials; bo.Trials > remaining {
 			bo.Trials = remaining
 		}
-		bo.Seed = opt.Seed + int64(batch)*1e6
+		// Batch streams live in their own index space (batchStreamBase) so
+		// no batch seed can collide with a per-worker stream of another
+		// batch — the failure mode of the old Seed+batch*1e6 scheme.
+		bo.Seed = deriveSeed(opt.Seed, batchStreamBase+uint64(batch))
+		var batchScrubs int64
+		if opt.Progress != nil {
+			// Rebase per-batch snapshots so the hook sees one continuous
+			// run: totals accumulated so far plus this batch's progress,
+			// against the adaptive trial cap. Intermediate batch-final
+			// snapshots are demoted to non-final.
+			doneTrials, doneFailures := total.Trials, total.Failures
+			baseScrubs := scrubsSoFar
+			bo.Progress = func(p Progress) {
+				batchScrubs = p.ScrubPasses
+				p.TrialsDone += doneTrials
+				p.TrialsTarget = opt.MaxTrials
+				p.Failures += doneFailures
+				p.ScrubPasses += baseScrubs
+				p.Elapsed = time.Since(start)
+				p.Done = false
+				opt.Progress(p)
+			}
+		}
 		r := RunContext(ctx, bo, pol)
+		scrubsSoFar += batchScrubs
 		total = Merge(total, r)
 		total.Policy = pol.name()
 		batch++
 		if r.Partial {
 			break
 		}
+	}
+	if opt.Progress != nil {
+		opt.Progress(Progress{
+			Policy:       pol.name(),
+			TrialsDone:   total.Trials,
+			TrialsTarget: opt.MaxTrials,
+			Failures:     total.Failures,
+			ScrubPasses:  scrubsSoFar,
+			Elapsed:      time.Since(start),
+			Done:         true,
+		})
 	}
 	return total
 }

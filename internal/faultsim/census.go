@@ -98,6 +98,8 @@ func RunCensusContext(ctx context.Context, opt Options, useTSVSwap bool) Census 
 		FailedBanksPerSystem: make(map[int]int),
 		FailedBankThreshold:  4,
 	}
+	mRunsActive.Inc()
+	defer mRunsActive.Dec()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	per := (opt.Trials + opt.Workers - 1) / opt.Workers
@@ -113,7 +115,7 @@ func RunCensusContext(ctx context.Context, opt Options, useTSVSwap bool) Census 
 		wg.Add(1)
 		go func(worker, n int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(opt.Seed + int64(worker)*1e9))
+			rng := rand.New(rand.NewSource(deriveSeed(opt.Seed, uint64(worker))))
 			sampler := fault.NewSampler(opt.Config, opt.Rates)
 			rowsHist := make(map[int]int)
 			failedHist := make(map[int]int)
@@ -171,6 +173,7 @@ func RunCensusContext(ctx context.Context, opt Options, useTSVSwap bool) Census 
 					failedHist[failed]++
 				}
 			}
+			mTrials.Add(int64(done))
 			mu.Lock()
 			c.Trials += done
 			for k, v := range rowsHist {

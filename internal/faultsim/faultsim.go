@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/fault"
@@ -75,6 +77,36 @@ type Options struct {
 	// shapes the per-worker RNG streams, so seeded results are
 	// reproducible only for equal effective worker counts.
 	Workers int
+	// Progress, when non-nil, receives a snapshot of the run roughly
+	// every ProgressInterval plus one final snapshot (Done set) when the
+	// run ends. Calls are serialized: the hook never runs concurrently
+	// with itself.
+	Progress func(Progress)
+	// ProgressInterval throttles Progress callbacks (default 1s).
+	ProgressInterval time.Duration
+}
+
+// Progress is a point-in-time snapshot of a running Monte Carlo study.
+type Progress struct {
+	Policy string
+	// TrialsDone counts trials completed so far out of TrialsTarget.
+	TrialsDone, TrialsTarget int
+	// Failures counts failing trials so far.
+	Failures int
+	// ScrubPasses counts scrubber invocations across all trials so far.
+	ScrubPasses int64
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Done marks the final snapshot of the run.
+	Done bool
+}
+
+// TrialsPerSec returns the observed trial throughput.
+func (p Progress) TrialsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.TrialsDone) / p.Elapsed.Seconds()
 }
 
 // withDefaults fills zero fields. It is the single source of truth for
@@ -167,6 +199,9 @@ type trialState struct {
 	liveTrans []fault.Fault
 	lastScrub int
 	scratch   []fault.Fault
+	// scrubs counts doScrub invocations across every trial run on this
+	// state; workers flush it into the run's progress counters.
+	scrubs int64
 }
 
 func newTrialState(cfg stack.Config, pol Policy, scrub float64) *trialState {
@@ -199,6 +234,7 @@ func (ts *trialState) reset() {
 // sparer. Offers repeat until a full pass spares nothing, because sparing
 // one fault (e.g. escalating a bank) can spare co-resident faults too.
 func (ts *trialState) doScrub() {
+	ts.scrubs++
 	ts.liveTrans = ts.liveTrans[:0]
 	if ts.sparer == nil {
 		return
@@ -284,6 +320,47 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 		FailuresByYear: make([]int, years),
 		CauseCounts:    make(map[string]int),
 	}
+	mRunsActive.Inc()
+	defer mRunsActive.Dec()
+	// Live counters: workers flush local tallies here every
+	// cancelCheckInterval trials so the progress reporter and the global
+	// metrics see the run move without per-trial atomics.
+	var progTrials, progFailures, progScrubs atomic.Int64
+	start := time.Now()
+	snapshot := func(done bool) Progress {
+		return Progress{
+			Policy:       pol.name(),
+			TrialsDone:   int(progTrials.Load()),
+			TrialsTarget: opt.Trials,
+			Failures:     int(progFailures.Load()),
+			ScrubPasses:  progScrubs.Load(),
+			Elapsed:      time.Since(start),
+			Done:         done,
+		}
+	}
+	stopProg := make(chan struct{})
+	progDone := make(chan struct{})
+	if opt.Progress != nil {
+		interval := opt.ProgressInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go func() {
+			defer close(progDone)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-tick.C:
+					opt.Progress(snapshot(false))
+				}
+			}
+		}()
+	} else {
+		close(progDone)
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	per := (opt.Trials + opt.Workers - 1) / opt.Workers
@@ -299,16 +376,30 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 		wg.Add(1)
 		go func(worker, n int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(opt.Seed + int64(worker)*1e9))
+			rng := rand.New(rand.NewSource(deriveSeed(opt.Seed, uint64(worker))))
 			sampler := fault.NewSampler(opt.Config, opt.Rates)
 			ts := newTrialState(opt.Config, pol, opt.ScrubIntervalHours)
 			done := 0
 			failures := 0
 			byYear := make([]int, years)
 			causes := make(map[string]int)
+			var flushedDone, flushedFailures, flushedScrubs int64
+			flush := func() {
+				progTrials.Add(int64(done) - flushedDone)
+				progFailures.Add(int64(failures) - flushedFailures)
+				progScrubs.Add(ts.scrubs - flushedScrubs)
+				mTrials.Add(int64(done) - flushedDone)
+				mFailures.Add(int64(failures) - flushedFailures)
+				mScrubs.Add(ts.scrubs - flushedScrubs)
+				flushedDone, flushedFailures, flushedScrubs = int64(done), int64(failures), ts.scrubs
+			}
+			defer flush()
 			for t := 0; t < n; t++ {
-				if t%cancelCheckInterval == 0 && ctx.Err() != nil {
-					break
+				if t%cancelCheckInterval == 0 {
+					flush()
+					if ctx.Err() != nil {
+						break
+					}
 				}
 				done++
 				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
@@ -341,9 +432,14 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 		}(w, hi-lo)
 	}
 	wg.Wait()
+	close(stopProg)
+	<-progDone
 	if err := ctx.Err(); err != nil && res.Trials < opt.Trials {
 		res.Partial = true
 		res.Err = err
+	}
+	if opt.Progress != nil {
+		opt.Progress(snapshot(true))
 	}
 	return res
 }

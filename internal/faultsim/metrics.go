@@ -1,0 +1,17 @@
+package faultsim
+
+import "repro/internal/obs"
+
+// Engine-level metrics, exposed by cmd/citadel-server at GET /metrics.
+// They aggregate across every run in the process; per-run numbers flow
+// through Options.Progress instead.
+var (
+	mTrials = obs.Default().Counter("citadel_faultsim_trials_total",
+		"Monte Carlo trials completed across all reliability runs.")
+	mFailures = obs.Default().Counter("citadel_faultsim_failures_total",
+		"Trials that ended in uncorrectable system failure.")
+	mScrubs = obs.Default().Counter("citadel_faultsim_scrub_passes_total",
+		"Scrub passes executed inside trials.")
+	mRunsActive = obs.Default().Gauge("citadel_faultsim_runs_active",
+		"Reliability runs (including censuses) currently executing.")
+)

@@ -1,0 +1,29 @@
+package faultsim
+
+// RNG stream derivation. Workers and adaptive batches each need their own
+// decorrelated math/rand stream. Deriving them by adding small multiples
+// of the base seed (the scheme this replaced) has two failure modes:
+// distinct (batch, worker) pairs can collide exactly — batch 1000 at
+// step 1e6 equals worker 1 at step 1e9 — and nearby additive seeds feed
+// math/rand's lagged-Fibonacci generator visibly correlated streams. A
+// splitmix64-style finalizer instead scatters every (base, stream) pair
+// across the full 64-bit space.
+
+// Stream-index spaces. Worker streams are dense small integers; adaptive
+// batch streams start far above any plausible worker count so the two
+// spaces cannot overlap for the same base seed.
+const batchStreamBase uint64 = 1 << 40
+
+// deriveSeed maps (base seed, stream index) to an RNG seed using the
+// splitmix64 finalizer (Steele, Lea & Flood, OOPSLA 2014). Equal inputs
+// give equal outputs, keeping seeded runs reproducible; distinct streams
+// are decorrelated whatever their numeric distance.
+func deriveSeed(base int64, stream uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(stream+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,22 @@
+package perfsim
+
+import "repro/internal/obs"
+
+// Engine-level metrics, exposed by cmd/citadel-server at GET /metrics.
+// They aggregate across every simulation in the process; per-run numbers
+// flow through Config.Progress instead.
+var (
+	mRequests = obs.Default().Counter("citadel_perfsim_requests_total",
+		"Memory requests served across all performance simulations.")
+	mReads = obs.Default().Counter("citadel_perfsim_reads_total",
+		"Demand reads served across all performance simulations.")
+	mRowHits = obs.Default().Counter("citadel_perfsim_row_hits_total",
+		"Bank-level row-buffer hits.")
+	mRowMisses = obs.Default().Counter("citadel_perfsim_row_misses_total",
+		"Bank-level row-buffer misses.")
+	mRunsActive = obs.Default().Gauge("citadel_perfsim_runs_active",
+		"Performance simulations currently executing.")
+	mReadLatency = obs.Default().Histogram("citadel_perfsim_read_latency_cycles",
+		"End-to-end demand-read latency in memory-bus cycles.",
+		[]float64{10, 15, 20, 30, 45, 60, 90, 120, 180, 240, 360, 480, 720, 960})
+)

@@ -20,6 +20,7 @@ package perfsim
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/power"
 	"repro/internal/stack"
@@ -86,8 +87,41 @@ type Config struct {
 	Cores int
 	Seed  int64
 	// Trace, when non-nil, replays a recorded request stream instead of
-	// the synthetic generator (see workload.ReadTrace).
+	// the synthetic generator (see workload.ReadTrace). Each run reads
+	// through a private cursor rewound to the start of the trace, so one
+	// Config can drive sequential or concurrent runs safely.
 	Trace *workload.TraceSource
+	// Progress, when non-nil, receives a snapshot of the run roughly
+	// every ProgressInterval plus one final snapshot (Done set) when the
+	// run ends. The simulator is single-threaded, so calls never overlap.
+	Progress func(Progress)
+	// ProgressInterval throttles Progress callbacks (default 1s).
+	ProgressInterval time.Duration
+}
+
+// Progress is a point-in-time snapshot of a running simulation.
+type Progress struct {
+	// RequestsDone counts requests served so far out of RequestsTarget.
+	RequestsDone, RequestsTarget int
+	// Reads counts demand reads served so far.
+	Reads uint64
+	// RowHitRate is the row-buffer hit rate so far.
+	RowHitRate float64
+	// AvgReadLatency is the mean demand-read latency so far, in
+	// memory-bus cycles.
+	AvgReadLatency float64
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Done marks the final snapshot of the run.
+	Done bool
+}
+
+// RequestsPerSec returns the observed simulation throughput.
+func (p Progress) RequestsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.RequestsDone) / p.Elapsed.Seconds()
 }
 
 // DefaultConfig returns the Table II baseline configuration.
@@ -105,7 +139,9 @@ func DefaultConfig() Config {
 type Stats struct {
 	// Cycles is the execution time in memory-bus cycles.
 	Cycles uint64
-	// Instructions is the per-core instruction count completed.
+	// Instructions is the total instruction count completed, summed over
+	// every core's progress (a looping trace contributes each lap's
+	// per-core progress rather than stalling at the first lap's maximum).
 	Instructions uint64
 	// RowHits and RowMisses count bank-level row-buffer outcomes.
 	RowHits, RowMisses uint64
@@ -123,7 +159,8 @@ type Stats struct {
 	Partial bool
 }
 
-// CPI returns cycles per instruction in core clocks.
+// CPI returns system cycles per instruction in core clocks: execution
+// time divided by the instructions completed across all cores.
 func (s Stats) CPI(t Timing) float64 {
 	if s.Instructions == 0 {
 		return 0
@@ -195,25 +232,86 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) Stats {
 	for i := range s.bankRow {
 		s.bankRow[i] = -1
 	}
+	mRunsActive.Inc()
+	defer mRunsActive.Dec()
 	next := func() workload.Request { return workload.Request{} }
 	if cfg.Trace != nil {
-		next = cfg.Trace.Next
+		// Private cursor: replay from the start without mutating the
+		// shared TraceSource (reuse across runs would otherwise resume
+		// mid-trace, and concurrent runs would race on the position).
+		tr := cfg.Trace.Clone()
+		tr.Reset()
+		next = tr.Next
 	} else {
 		gen := workload.NewGenerator(prof, cfg.Cores, cfg.Seed)
 		next = gen.Next
 	}
-	var lastICount uint64
+	progressInterval := cfg.ProgressInterval
+	if progressInterval <= 0 {
+		progressInterval = time.Second
+	}
+	start := time.Now()
+	lastProgress := start
+	snapshot := func(done bool) Progress {
+		return Progress{
+			RequestsDone:   s.stats.RequestsDone,
+			RequestsTarget: cfg.Requests,
+			Reads:          s.stats.Reads,
+			RowHitRate:     s.stats.RowHitRate(),
+			AvgReadLatency: s.stats.AvgReadLatency(),
+			Elapsed:        time.Since(start),
+			Done:           done,
+		}
+	}
+	// flush publishes the delta since the last flush into the global
+	// metrics, so a scrape mid-run sees the simulation move.
+	var flushed Stats
+	flush := func() {
+		mRequests.Add(int64(s.stats.RequestsDone - flushed.RequestsDone))
+		mReads.Add(int64(s.stats.Reads - flushed.Reads))
+		mRowHits.Add(int64(s.stats.RowHits - flushed.RowHits))
+		mRowMisses.Add(int64(s.stats.RowMisses - flushed.RowMisses))
+		flushed = s.stats
+	}
+	defer flush()
+	// Instructions are summed across cores. Each core's ICount advances
+	// monotonically, so its contribution is the delta from the last
+	// request seen on that core; a looping trace restarts a core's
+	// counter, in which case the wrapped value is the fresh progress.
+	lastICount := make([]uint64, cfg.Cores)
+	var instructions uint64
 	for i := 0; i < cfg.Requests; i++ {
-		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
-			s.stats.Partial = true
-			break
+		if i%cancelCheckInterval == 0 {
+			flush()
+			if cfg.Progress != nil {
+				if now := time.Now(); now.Sub(lastProgress) >= progressInterval {
+					lastProgress = now
+					cfg.Progress(snapshot(false))
+				}
+			}
+			if ctx.Err() != nil {
+				s.stats.Partial = true
+				break
+			}
 		}
 		req := next()
+		if req.Core >= len(s.coreAvail) {
+			// A replayed trace may name more cores than cfg.Cores.
+			grown := make([]float64, req.Core+1)
+			copy(grown, s.coreAvail)
+			s.coreAvail = grown
+			grownIC := make([]uint64, req.Core+1)
+			copy(grownIC, lastICount)
+			lastICount = grownIC
+		}
 		s.serve(req)
 		s.stats.RequestsDone++
-		if req.ICount > lastICount {
-			lastICount = req.ICount
+		if req.ICount >= lastICount[req.Core] {
+			instructions += req.ICount - lastICount[req.Core]
+		} else {
+			instructions += req.ICount
 		}
+		lastICount[req.Core] = req.ICount
 	}
 	end := 0.0
 	for _, t := range s.coreAvail {
@@ -222,9 +320,12 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) Stats {
 		}
 	}
 	s.stats.Cycles = uint64(end)
-	s.stats.Instructions = lastICount
+	s.stats.Instructions = instructions
 	s.stats.Power.Cycles = uint64(end)
 	s.stats.Power.Dies = cfg.Stack.Stacks * (cfg.Stack.DataDies + cfg.Stack.ECCDies)
+	if cfg.Progress != nil {
+		cfg.Progress(snapshot(true))
+	}
 	return s.stats
 }
 
@@ -369,6 +470,7 @@ func (s *sim) serve(req workload.Request) {
 	finish := s.accessSlices(lineIdx, issue, false, false)
 	s.stats.Reads++
 	s.stats.ReadLatencySum += finish - issue
+	mReadLatency.Observe(finish - issue)
 	// Reads block the core; memory-level parallelism and out-of-order
 	// execution overlap the service latency and part of the queueing delay
 	// across the outstanding misses.

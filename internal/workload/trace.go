@@ -98,11 +98,24 @@ func NewTraceSource(reqs []Request) (*TraceSource, error) {
 	return &TraceSource{reqs: reqs}, nil
 }
 
-// Next returns the next request, looping at the end of the trace.
+// Next returns the next request, looping at the end of the trace. The
+// cursor is mutable state: callers that share one TraceSource across runs
+// should hand each run a Clone and Reset it (perfsim does this
+// internally).
 func (t *TraceSource) Next() Request {
 	r := t.reqs[t.pos]
 	t.pos = (t.pos + 1) % len(t.reqs)
 	return r
+}
+
+// Reset rewinds the cursor to the start of the trace.
+func (t *TraceSource) Reset() { t.pos = 0 }
+
+// Clone returns an independent cursor over the same underlying requests
+// (which are never mutated), at the same position. Clones can be consumed
+// concurrently with the original.
+func (t *TraceSource) Clone() *TraceSource {
+	return &TraceSource{reqs: t.reqs, pos: t.pos}
 }
 
 // Len returns the trace length.

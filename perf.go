@@ -3,6 +3,7 @@ package citadel
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/perfsim"
 	"repro/internal/power"
@@ -61,7 +62,15 @@ type PerfOptions struct {
 	Requests int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Progress, when non-nil, receives periodic run snapshots plus a
+	// final one with Done set (see perfsim.Config.Progress).
+	Progress func(PerfProgress)
+	// ProgressInterval throttles Progress callbacks (default 1s).
+	ProgressInterval time.Duration
 }
+
+// PerfProgress is a point-in-time snapshot of a performance simulation.
+type PerfProgress = perfsim.Progress
 
 // PerfResult reports execution time and active power for one benchmark.
 type PerfResult struct {
@@ -103,6 +112,8 @@ func SimulatePerformanceContext(ctx context.Context, b Benchmark, opts PerfOptio
 		cfg.Requests = opts.Requests
 	}
 	cfg.Seed = opts.Seed
+	cfg.Progress = opts.Progress
+	cfg.ProgressInterval = opts.ProgressInterval
 	hit := opts.ParityCacheHitRate
 	if hit == 0 {
 		hit = 0.85
