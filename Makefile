@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench bench-all clean
 
 all: check
 
@@ -27,7 +27,23 @@ race:
 
 check: build vet test race
 
+# Engine performance gate: the Monte Carlo trial-loop microbenchmarks
+# (incremental vs batch evaluation, CRC variants, and the Figure-4 striping
+# study) funneled through cmd/benchjson into a benchstat-compatible JSON
+# report. `jq -r '.raw[]' BENCH_faultsim.json | benchstat /dev/stdin` renders
+# it; keep two reports around to benchstat before/after a change.
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkTrials|BenchmarkTrialStateRun|BenchmarkParityStateAdd' \
+		-benchmem ./internal/faultsim/ > bench.out
+	$(GO) test -run xxx -bench 'BenchmarkCRC' ./internal/crc/ >> bench.out
+	$(GO) test -run xxx -bench 'BenchmarkMonteCarloTrialThroughput|BenchmarkFig4StripingReliability' \
+		-benchmem . >> bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_faultsim.json < bench.out
+	@rm -f bench.out
+	@echo wrote BENCH_faultsim.json
+
+# Full benchmark sweep (every table/figure regeneration; slow).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 clean:

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` output (read from stdin) into
+// a JSON benchmark report. The report keeps the verbatim benchmark lines —
+// so `jq -r '.raw[]' BENCH_faultsim.json | benchstat /dev/stdin` works and
+// two reports can be diffed with benchstat — alongside parsed per-benchmark
+// metrics for dashboards.
+//
+// Usage:
+//
+//	go test -bench=... -benchmem ./... | benchjson -o BENCH_faultsim.json
+//
+// Non-benchmark lines (PASS, ok, test logs) are ignored; context lines
+// (goos/goarch/pkg/cpu) are captured into the report header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `Benchmark*` result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+	// Runs is the iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value for every reported pair, e.g.
+	// "ns/op", "B/op", "allocs/op", "trials/s", "MB/s".
+	Metrics map[string]float64 `json:"metrics"`
+	// Raw is the verbatim line, benchstat-consumable.
+	Raw string `json:"raw"`
+}
+
+// Report is the whole JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw preserves every benchmark and context line in order, forming a
+	// valid benchstat input when joined with newlines.
+	Raw []string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(trimmed, "goos:"))
+			rep.Raw = append(rep.Raw, line)
+		case strings.HasPrefix(trimmed, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(trimmed, "goarch:"))
+			rep.Raw = append(rep.Raw, line)
+		case strings.HasPrefix(trimmed, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(trimmed, "cpu:"))
+			rep.Raw = append(rep.Raw, line)
+		case strings.HasPrefix(trimmed, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(trimmed, "pkg:"))
+			rep.Raw = append(rep.Raw, line)
+		case strings.HasPrefix(trimmed, "Benchmark"):
+			b, ok := parseBenchLine(trimmed)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+			rep.Raw = append(rep.Raw, line)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-8  1000  123 ns/op  0 B/op ...".
+// The name may carry a -GOMAXPROCS suffix; value/unit pairs follow the
+// iteration count.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:    fields[0],
+		Runs:    runs,
+		Metrics: map[string]float64{},
+		Raw:     line,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

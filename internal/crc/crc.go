@@ -1,8 +1,8 @@
 // Package crc implements the CRC-32 checksum (IEEE 802.3 polynomial) used by
 // Citadel for per-cache-line error detection. It is written from scratch —
-// reflected bitwise reference, byte-at-a-time table lookup, and a
-// slicing-by-4 fast path — so the detection behaviour modeled by the fault
-// simulator is backed by a real codec.
+// reflected bitwise reference, byte-at-a-time table lookup, and slicing-by-4
+// and slicing-by-8 fast paths — so the detection behaviour modeled by the
+// fault simulator is backed by a real codec.
 //
 // Citadel stores a 32-bit CRC alongside each 512-bit line; the checksum is
 // computed over the line's address and data so that address-TSV faults
@@ -21,9 +21,15 @@ type Table [256]uint32
 // slicingTables extends Table with three more tables for slicing-by-4.
 type slicingTables [4]Table
 
+// slicing8Tables holds the eight tables for slicing-by-8: table k maps a
+// byte that sits k positions from the end of an 8-byte block to its
+// contribution to the CRC after the whole block has been consumed.
+type slicing8Tables [8]Table
+
 var (
-	stdTable   = MakeTable()
-	stdSlicing = makeSlicingTables(stdTable)
+	stdTable    = MakeTable()
+	stdSlicing  = makeSlicingTables(stdTable)
+	stdSlicing8 = makeSlicing8Tables(stdTable)
 )
 
 // MakeTable builds the byte-at-a-time lookup table for Poly.
@@ -49,6 +55,19 @@ func makeSlicingTables(base *Table) *slicingTables {
 	for i := 0; i < 256; i++ {
 		crc := base[i]
 		for j := 1; j < 4; j++ {
+			crc = base[crc&0xFF] ^ crc>>8
+			st[j][i] = crc
+		}
+	}
+	return st
+}
+
+func makeSlicing8Tables(base *Table) *slicing8Tables {
+	st := new(slicing8Tables)
+	st[0] = *base
+	for i := 0; i < 256; i++ {
+		crc := base[i]
+		for j := 1; j < 8; j++ {
 			crc = base[crc&0xFF] ^ crc>>8
 			st[j][i] = crc
 		}
@@ -100,8 +119,34 @@ func UpdateSlicing4(crc uint32, p []byte) uint32 {
 	return ^crc
 }
 
+// UpdateSlicing8 processes p eight bytes at a time (slicing-by-8), falling
+// back to the byte loop for the tail. Eight independent table lookups per
+// iteration break the byte-loop's serial dependency chain, roughly doubling
+// throughput over slicing-by-4 on 64-byte cache lines. It matches Update
+// exactly.
+func UpdateSlicing8(crc uint32, p []byte) uint32 {
+	crc = ^crc
+	for len(p) >= 8 {
+		lo := binary.LittleEndian.Uint32(p) ^ crc
+		hi := binary.LittleEndian.Uint32(p[4:])
+		crc = stdSlicing8[7][byte(lo)] ^
+			stdSlicing8[6][byte(lo>>8)] ^
+			stdSlicing8[5][byte(lo>>16)] ^
+			stdSlicing8[4][byte(lo>>24)] ^
+			stdSlicing8[3][byte(hi)] ^
+			stdSlicing8[2][byte(hi>>8)] ^
+			stdSlicing8[1][byte(hi>>16)] ^
+			stdSlicing8[0][byte(hi>>24)]
+		p = p[8:]
+	}
+	for _, b := range p {
+		crc = stdTable[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}
+
 // Checksum returns the CRC-32 of p starting from a zero CRC.
-func Checksum(p []byte) uint32 { return UpdateSlicing4(0, p) }
+func Checksum(p []byte) uint32 { return UpdateSlicing8(0, p) }
 
 // ChecksumLine returns the CRC-32 Citadel stores for a cache line: the
 // checksum of the line address (little-endian 64-bit) followed by the data.
@@ -110,7 +155,7 @@ func Checksum(p []byte) uint32 { return UpdateSlicing4(0, p) }
 func ChecksumLine(addr uint64, data []byte) uint32 {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], addr)
-	return UpdateSlicing4(UpdateSlicing4(0, hdr[:]), data)
+	return UpdateSlicing8(UpdateSlicing8(0, hdr[:]), data)
 }
 
 // Verify reports whether data (with its address) matches the stored CRC.

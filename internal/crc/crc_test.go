@@ -38,7 +38,8 @@ func TestVariantsAgree(t *testing.T) {
 		bw := UpdateBitwise(seed, p)
 		tb := Update(seed, p)
 		s4 := UpdateSlicing4(seed, p)
-		return bw == tb && tb == s4
+		s8 := UpdateSlicing8(seed, p)
+		return bw == tb && tb == s4 && s4 == s8
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
@@ -123,18 +124,53 @@ func TestMakeTableMatchesStdlib(t *testing.T) {
 	}
 }
 
+func TestSlicing8AllLengthsAndAlignments(t *testing.T) {
+	// Exhaustively sweep lengths 0..129 and sub-word start offsets so both
+	// the 8-byte block loop and the tail loop see every phase.
+	buf := make([]byte, 140)
+	rand.New(rand.NewSource(11)).Read(buf)
+	for off := 0; off < 8; off++ {
+		for n := 0; n+off <= len(buf) && n <= 129; n++ {
+			p := buf[off : off+n]
+			want := crc32.ChecksumIEEE(p)
+			if got := UpdateSlicing8(0, p); got != want {
+				t.Fatalf("UpdateSlicing8(off=%d, len=%d) = %#x, want %#x", off, n, got, want)
+			}
+		}
+	}
+}
+
+// Per-variant benchmarks on the 64-byte cache line Citadel checksums; the
+// stdlib hash/crc32 row is the reference ceiling (it uses the same
+// slicing-by-8 idea, plus CLMUL on amd64).
+func benchVariant(b *testing.B, f func(uint32, []byte) uint32) {
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(0, line)
+	}
+}
+
+func BenchmarkCRCBitwise64B(b *testing.B)   { benchVariant(b, UpdateBitwise) }
+func BenchmarkCRCTable64B(b *testing.B)     { benchVariant(b, Update) }
+func BenchmarkCRCSlicing4_64B(b *testing.B) { benchVariant(b, UpdateSlicing4) }
+func BenchmarkCRCSlicing8_64B(b *testing.B) { benchVariant(b, UpdateSlicing8) }
+
+func BenchmarkCRCStdlib64B(b *testing.B) {
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		crc32.ChecksumIEEE(line)
+	}
+}
+
+// BenchmarkChecksum64B is the dispatching entry point the functional
+// controller calls per line read.
 func BenchmarkChecksum64B(b *testing.B) {
 	line := make([]byte, 64)
 	b.SetBytes(64)
 	for i := 0; i < b.N; i++ {
 		Checksum(line)
-	}
-}
-
-func BenchmarkChecksumBitwise64B(b *testing.B) {
-	line := make([]byte, 64)
-	b.SetBytes(64)
-	for i := 0; i < b.N; i++ {
-		UpdateBitwise(0, line)
 	}
 }

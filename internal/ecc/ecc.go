@@ -28,6 +28,13 @@ type Predicate interface {
 	// Name identifies the scheme in reports.
 	Name() string
 	// Uncorrectable reports whether the live faults cause data loss.
+	//
+	// Implementations must not retain the live slice (or any view of its
+	// backing array) past the call: the Monte Carlo engine reuses one
+	// scratch buffer for every evaluation of a trial, so a retained slice
+	// is silently overwritten by later faults and trials. Reading it
+	// during the call is free — no defensive copy is required. The engine
+	// tests enforce this contract (faultsim TestPredicatesDoNotRetainLiveSlice).
 	Uncorrectable(live []fault.Fault) bool
 }
 

@@ -1,0 +1,152 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/parity"
+	"repro/internal/stack"
+)
+
+// incrementalPredicates enumerates every predicate that implements
+// IncrementalPredicate, in both DefaultConfig geometry and all striping
+// layouts, so the differential tests cover the whole zoo.
+func incrementalPredicates() []IncrementalPredicate {
+	c := stack.DefaultConfig()
+	return []IncrementalPredicate{
+		NewSymbol8(c, stack.SameBank),
+		NewSymbol8(c, stack.AcrossBanks),
+		NewSymbol8(c, stack.AcrossChannels),
+		NewSymbol8DeviceGranular(c, stack.AcrossBanks),
+		NewSymbol8DeviceGranular(c, stack.AcrossChannels),
+		NewBCH6EC7ED(c),
+		NewTwoDECC(c),
+		NewParity(c, parity.OneDP),
+		NewParity(c, parity.TwoDP),
+		NewParity(c, parity.ThreeDP),
+		NewRAID5(c),
+		NoProtection{},
+	}
+}
+
+// sampleFaultPool draws realistic faults from the Monte Carlo sampler
+// itself, so the differential test exercises exactly the footprint shapes
+// the engine produces (plus TSV faults via a nonzero TSV FIT rate).
+func sampleFaultPool(rng *rand.Rand, n int) []fault.Fault {
+	cfg := stack.DefaultConfig()
+	rates := fault.Table1().WithTSV(500)
+	s := fault.NewSampler(cfg, rates)
+	var pool []fault.Fault
+	for len(pool) < n {
+		pool = append(pool, s.SampleLifetime(rng, 7*365*24)...)
+	}
+	return pool[:n]
+}
+
+// replayDifferential drives one random add/remove sequence through st,
+// comparing against the batch oracle p.Uncorrectable after every step.
+func replayDifferential(t *testing.T, p IncrementalPredicate, st IncrementalState,
+	pool []fault.Fault, rng *rand.Rand, steps int) {
+	t.Helper()
+	st.Reset()
+	var cur []fault.Fault
+	for step := 0; step < steps; step++ {
+		var got bool
+		if len(cur) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(cur))
+			f := cur[i]
+			cur = append(cur[:i], cur[i+1:]...)
+			got = st.Remove(f)
+		} else {
+			f := pool[rng.Intn(len(pool))]
+			cur = append(cur, f)
+			got = st.Add(f)
+		}
+		want := p.Uncorrectable(cur)
+		if got != want {
+			t.Fatalf("%s step %d: incremental = %v, batch = %v\nlive: %v",
+				p.Name(), step, got, want, cur)
+		}
+		if st.Uncorrectable() != got {
+			t.Fatalf("%s step %d: Uncorrectable() disagrees with Add/Remove return", p.Name(), step)
+		}
+	}
+}
+
+// TestIncrementalMatchesBatchOracle replays random fault sequences through
+// every incremental evaluator and requires the verdict to match the batch
+// Uncorrectable on the same multiset after every single Add and Remove.
+func TestIncrementalMatchesBatchOracle(t *testing.T) {
+	rng := newTestRand()
+	pool := sampleFaultPool(rng, 300)
+	for _, p := range incrementalPredicates() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			st := p.Begin()
+			for seq := 0; seq < 25; seq++ {
+				replayDifferential(t, p, st, pool, rng, 3+rng.Intn(12))
+			}
+		})
+	}
+}
+
+// FuzzIncrementalMatchesBatch fuzzes the add/remove schedule: the fuzz
+// input selects which pool faults to add and when to remove, and the
+// incremental verdict must track the batch oracle throughout.
+func FuzzIncrementalMatchesBatch(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 0x80, 3})
+	f.Fuzz(func(t *testing.T, seed int64, schedule []byte) {
+		if len(schedule) > 64 {
+			schedule = schedule[:64]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		pool := sampleFaultPool(rng, 64)
+		for _, p := range incrementalPredicates() {
+			st := p.Begin()
+			var cur []fault.Fault
+			for _, op := range schedule {
+				var got bool
+				if op >= 0x80 && len(cur) > 0 {
+					i := int(op&0x7f) % len(cur)
+					f := cur[i]
+					cur = append(cur[:i], cur[i+1:]...)
+					got = st.Remove(f)
+				} else {
+					f := pool[int(op)%len(pool)]
+					cur = append(cur, f)
+					got = st.Add(f)
+				}
+				if want := p.Uncorrectable(cur); got != want {
+					t.Fatalf("%s: incremental = %v, batch = %v on %v", p.Name(), got, want, cur)
+				}
+			}
+		}
+	})
+}
+
+// TestIncrementalSteadyStateAllocFree verifies the per-trial Add/Remove/
+// Reset loop allocates nothing once warm, for every evaluator.
+func TestIncrementalSteadyStateAllocFree(t *testing.T) {
+	rng := newTestRand()
+	pool := sampleFaultPool(rng, 40)
+	for _, p := range incrementalPredicates() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			st := p.Begin()
+			replay := func() {
+				st.Reset()
+				for _, f := range pool {
+					st.Add(f)
+				}
+				for i := len(pool) - 1; i >= 0; i-- {
+					st.Remove(pool[i])
+				}
+			}
+			replay() // warm scratch buffers
+			if allocs := testing.AllocsPerRun(10, replay); allocs != 0 {
+				t.Errorf("%s: steady-state loop allocates %.1f per replay, want 0", p.Name(), allocs)
+			}
+		})
+	}
+}

@@ -332,7 +332,17 @@ func poisson(rng *rand.Rand, lambda float64) int {
 // SampleLifetime draws all fault events for the system over the given
 // number of hours, sorted by arrival time.
 func (s *Sampler) SampleLifetime(rng *rand.Rand, hours float64) []Fault {
-	var faults []Fault
+	return s.AppendLifetime(rng, hours, nil)
+}
+
+// AppendLifetime is SampleLifetime appending into dst (typically a reused
+// buffer truncated to length zero), so the Monte Carlo trial loop can run
+// without a per-trial allocation. The sequence of RNG draws is identical to
+// SampleLifetime's, so fixed-seed runs produce the same faults either way.
+// The appended portion is sorted by arrival time.
+func (s *Sampler) AppendLifetime(rng *rand.Rand, hours float64, dst []Fault) []Fault {
+	start := len(dst)
+	faults := dst
 	nDies := float64(s.cfg.Stacks * s.diesPerStack)
 	add := func(c Class, p Persistence, rate float64) {
 		if rate <= 0 {
@@ -366,7 +376,7 @@ func (s *Sampler) SampleLifetime(rng *rand.Rand, hours float64) []Fault {
 			faults = append(faults, f)
 		}
 	}
-	sortByTime(faults)
+	sortByTime(faults[start:])
 	return faults
 }
 

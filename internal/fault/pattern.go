@@ -107,6 +107,21 @@ func (p Pattern) Intersects(q Pattern) bool {
 	return hi == 0 || x < hi
 }
 
+// First returns the smallest member of the pattern in [0, n), if any.
+// It runs in O(log n) — the correctability hot path asks this for row
+// patterns with 64 Ki-value domains, where a linear scan is ruinous.
+func (p Pattern) First(n uint32) (uint32, bool) {
+	hi := n
+	if p.Hi != 0 && p.Hi < hi {
+		hi = p.Hi
+	}
+	x, ok := nextMatch(p.Lo, p.Mask, p.Val)
+	if !ok || x >= hi {
+		return 0, false
+	}
+	return x, true
+}
+
 // countMatchesBelow returns |{x < hi : x&mask == val}| by scanning bit
 // positions of hi from high to low (a digit DP over the binary expansion).
 func countMatchesBelow(hi, mask, val uint32) uint64 {

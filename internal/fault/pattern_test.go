@@ -197,3 +197,39 @@ func TestRegionContainsCell(t *testing.T) {
 		t.Error("wrong stack should not be contained")
 	}
 }
+
+func TestPatternFirstMatchesLinearScan(t *testing.T) {
+	// First must agree with the brute-force smallest member for every
+	// pattern shape the sampler produces (exact, mask/stride, range,
+	// half-space) plus adversarial combinations.
+	pats := []Pattern{
+		AllPattern(),
+		ExactPattern(0),
+		ExactPattern(37),
+		ExactPattern(1000), // outside small domains
+		MaskPattern(255, 17),
+		MaskPattern(1<<4, 1<<4),
+		MaskPattern(1<<4, 0),
+		RangePattern(10, 20),
+		RangePattern(64, 64), // empty
+		{Mask: 7, Val: 5, Lo: 30, Hi: 200},
+		{Mask: 1 << 9, Val: 1 << 9, Lo: 100, Hi: 0},
+		{Mask: ^uint32(0), Val: 513, Lo: 0, Hi: 514},
+		{Mask: ^uint32(0), Val: 513, Lo: 0, Hi: 513}, // empty
+	}
+	for _, n := range []uint32{0, 1, 13, 64, 512, 1024} {
+		for _, p := range pats {
+			wantV, wantOK := uint32(0), false
+			for v := uint32(0); v < n; v++ {
+				if p.Contains(v) {
+					wantV, wantOK = v, true
+					break
+				}
+			}
+			gotV, gotOK := p.First(n)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Errorf("First(%v, n=%d) = (%d,%t), want (%d,%t)", p, n, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+}

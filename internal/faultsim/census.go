@@ -122,19 +122,27 @@ func RunCensusContext(ctx context.Context, opt Options, useTSVSwap bool) Census 
 			done := 0
 			withFailure := 0
 			dies := opt.Config.DataDies + opt.Config.ECCDies
+			// Per-worker pools, reset per trial (same allocation discipline
+			// as the lifetime engine's trialState).
+			var swapper *tsv.Swapper
+			if useTSVSwap {
+				swapper = tsv.NewSwapper(opt.Config)
+			}
+			var trialBuf []fault.Fault
+			// rows needed per bank, keyed by dense bank id incl. the
+			// metadata die.
+			perBank := map[int]int{}
 			for t := 0; t < n; t++ {
 				if t%cancelCheckInterval == 0 && ctx.Err() != nil {
 					break
 				}
 				done++
-				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
-				var swapper *tsv.Swapper
-				if useTSVSwap {
-					swapper = tsv.NewSwapper(opt.Config)
+				trialBuf = sampler.AppendLifetime(rng, opt.LifetimeHours, trialBuf[:0])
+				fs := trialBuf
+				if swapper != nil {
+					swapper.Reset()
 				}
-				// rows needed per bank, keyed by dense bank id incl. the
-				// metadata die.
-				perBank := map[int]int{}
+				clear(perBank)
 				for _, f := range fs {
 					if f.Persistence != fault.Permanent {
 						continue

@@ -84,6 +84,11 @@ type Options struct {
 	Progress func(Progress)
 	// ProgressInterval throttles Progress callbacks (default 1s).
 	ProgressInterval time.Duration
+	// DisableIncremental forces the batch Uncorrectable path even when the
+	// policy's predicate implements ecc.IncrementalPredicate. The two paths
+	// produce bit-identical Results; this is a differential-testing and
+	// debugging escape hatch, not a tuning knob.
+	DisableIncremental bool
 }
 
 // Progress is a point-in-time snapshot of a running Monte Carlo study.
@@ -188,7 +193,10 @@ func (r Result) String() string {
 	return s
 }
 
-// trialState holds the per-trial simulation state.
+// trialState holds the per-trial simulation state. One trialState serves
+// every trial of a worker: the swapper, sparer, incremental evaluator, and
+// all slices are pooled and reset between trials, so the steady-state trial
+// loop performs no heap allocation.
 type trialState struct {
 	cfg       stack.Config
 	pol       Policy
@@ -199,20 +207,35 @@ type trialState struct {
 	liveTrans []fault.Fault
 	lastScrub int
 	scratch   []fault.Fault
+	// inc, when non-nil, maintains the correctability verdict incrementally
+	// (ecc.IncrementalPredicate). It mirrors livePerm+liveTrans exactly:
+	// every append pairs with inc.Add, every drop with inc.Remove. Nil means
+	// the batch Predicate.Uncorrectable path.
+	inc ecc.IncrementalState
+	// dropScratch is doScrub's reusable drop-mark buffer (was a per-offer
+	// map allocation).
+	dropScratch []bool
 	// scrubs counts doScrub invocations across every trial run on this
 	// state; workers flush it into the run's progress counters.
 	scrubs int64
 }
 
-func newTrialState(cfg stack.Config, pol Policy, scrub float64) *trialState {
+func newTrialState(cfg stack.Config, pol Policy, scrub float64, disableIncremental bool) *trialState {
 	ts := &trialState{cfg: cfg, pol: pol, scrub: scrub}
+	if !disableIncremental {
+		if ip, ok := pol.Predicate.(ecc.IncrementalPredicate); ok {
+			ts.inc = ip.Begin()
+		}
+	}
 	ts.reset()
 	return ts
 }
 
 func (ts *trialState) reset() {
 	if ts.pol.UseTSVSwap {
-		if ts.pol.TSVStandbyPool > 0 {
+		if ts.swapper != nil {
+			ts.swapper.Reset()
+		} else if ts.pol.TSVStandbyPool > 0 {
 			ts.swapper = tsv.NewSwapperWithPool(ts.cfg, ts.pol.TSVStandbyPool)
 		} else {
 			ts.swapper = tsv.NewSwapper(ts.cfg)
@@ -221,9 +244,18 @@ func (ts *trialState) reset() {
 		ts.swapper = nil
 	}
 	if ts.pol.NewSparer != nil {
-		ts.sparer = ts.pol.NewSparer(ts.cfg)
+		// Reuse the sparer when it supports resetting (DDS does);
+		// otherwise rebuild per trial as before.
+		if r, ok := ts.sparer.(interface{ Reset() }); ok {
+			r.Reset()
+		} else {
+			ts.sparer = ts.pol.NewSparer(ts.cfg)
+		}
 	} else {
 		ts.sparer = nil
+	}
+	if ts.inc != nil {
+		ts.inc.Reset()
 	}
 	ts.livePerm = ts.livePerm[:0]
 	ts.liveTrans = ts.liveTrans[:0]
@@ -235,6 +267,11 @@ func (ts *trialState) reset() {
 // one fault (e.g. escalating a bank) can spare co-resident faults too.
 func (ts *trialState) doScrub() {
 	ts.scrubs++
+	if ts.inc != nil {
+		for _, f := range ts.liveTrans {
+			ts.inc.Remove(f)
+		}
+	}
 	ts.liveTrans = ts.liveTrans[:0]
 	if ts.sparer == nil {
 		return
@@ -246,7 +283,11 @@ func (ts *trialState) doScrub() {
 			if !spared && len(extra) == 0 {
 				continue
 			}
-			drop := make(map[int]bool, len(extra)+1)
+			drop := ts.dropScratch[:0]
+			for range ts.livePerm {
+				drop = append(drop, false)
+			}
+			ts.dropScratch = drop
 			for _, e := range extra {
 				drop[e] = true
 			}
@@ -255,9 +296,13 @@ func (ts *trialState) doScrub() {
 			}
 			kept := ts.livePerm[:0]
 			for j, f := range ts.livePerm {
-				if !drop[j] {
-					kept = append(kept, f)
+				if drop[j] {
+					if ts.inc != nil {
+						ts.inc.Remove(f)
+					}
+					continue
 				}
+				kept = append(kept, f)
 			}
 			ts.livePerm = kept
 			changed = true
@@ -266,7 +311,10 @@ func (ts *trialState) doScrub() {
 	}
 }
 
-// liveFaults rebuilds the scratch slice of all live faults.
+// liveFaults rebuilds the scratch slice of all live faults for the batch
+// evaluation path. The slice hands the predicate a view of reused backing
+// memory: Predicate.Uncorrectable implementations must not retain it past
+// the call (see TestPredicatesDoNotRetainLiveSlice).
 func (ts *trialState) liveFaults() []fault.Fault {
 	ts.scratch = ts.scratch[:0]
 	ts.scratch = append(ts.scratch, ts.livePerm...)
@@ -295,9 +343,47 @@ func (ts *trialState) run(faults []fault.Fault) (float64, fault.Class) {
 		} else {
 			ts.liveTrans = append(ts.liveTrans, f)
 		}
-		if ts.pol.Predicate.Uncorrectable(ts.liveFaults()) {
+		var bad bool
+		if ts.inc != nil {
+			bad = ts.inc.Add(f)
+		} else {
+			bad = ts.pol.Predicate.Uncorrectable(ts.liveFaults())
+		}
+		if bad {
 			return f.Hours, f.Class
 		}
+	}
+	return -1, 0
+}
+
+// runSingle is the fast path for one-fault trials (the overwhelmingly
+// common case at realistic FIT rates): with no other fault in the lifetime,
+// scrubbing and sparing cannot change the outcome, so the full per-trial
+// state reset is skipped. Observable statistics (verdict, failure time,
+// cause, scrub count) match run exactly.
+func (ts *trialState) runSingle(f fault.Fault) (float64, fault.Class) {
+	if int(f.Hours/ts.scrub) > 0 {
+		// run would scrub once before this arrival; on an empty state the
+		// scrub has no effect beyond its tally.
+		ts.scrubs++
+	}
+	if ts.swapper != nil && f.Class.IsTSV() {
+		ts.swapper.Reset()
+		if _, repaired := ts.swapper.Apply(f); repaired {
+			return -1, 0
+		}
+	}
+	if ts.inc != nil {
+		ts.inc.Reset()
+		if ts.inc.Add(f) {
+			return f.Hours, f.Class
+		}
+		return -1, 0
+	}
+	ts.scratch = ts.scratch[:0]
+	ts.scratch = append(ts.scratch, f)
+	if ts.pol.Predicate.Uncorrectable(ts.scratch) {
+		return f.Hours, f.Class
 	}
 	return -1, 0
 }
@@ -378,7 +464,8 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(deriveSeed(opt.Seed, uint64(worker))))
 			sampler := fault.NewSampler(opt.Config, opt.Rates)
-			ts := newTrialState(opt.Config, pol, opt.ScrubIntervalHours)
+			ts := newTrialState(opt.Config, pol, opt.ScrubIntervalHours, opt.DisableIncremental)
+			var trialBuf []fault.Fault
 			done := 0
 			failures := 0
 			byYear := make([]int, years)
@@ -402,11 +489,18 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 					}
 				}
 				done++
-				fs := sampler.SampleLifetime(rng, opt.LifetimeHours)
+				trialBuf = sampler.AppendLifetime(rng, opt.LifetimeHours, trialBuf[:0])
+				fs := trialBuf
 				if len(fs) == 0 {
 					continue
 				}
-				when, cause := ts.run(fs)
+				var when float64
+				var cause fault.Class
+				if len(fs) == 1 {
+					when, cause = ts.runSingle(fs[0])
+				} else {
+					when, cause = ts.run(fs)
+				}
 				if when >= 0 {
 					failures++
 					causes[cause.String()]++

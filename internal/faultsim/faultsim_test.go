@@ -283,7 +283,7 @@ func TestScrubClearsTransients(t *testing.T) {
 	// collide; simulate directly through trialState.
 	cfg := stack.DefaultConfig()
 	pol := Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP)}
-	ts := newTrialState(cfg, pol, DefaultScrubIntervalHours)
+	ts := newTrialState(cfg, pol, DefaultScrubIntervalHours, false)
 	mkBank := func(die, bank uint32, hours float64) fault.Fault {
 		return fault.Fault{
 			Class:       fault.Bank,
@@ -311,7 +311,7 @@ func TestScrubClearsTransients(t *testing.T) {
 func TestPermanentFaultsPersistAcrossScrubs(t *testing.T) {
 	cfg := stack.DefaultConfig()
 	pol := Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP)}
-	ts := newTrialState(cfg, pol, DefaultScrubIntervalHours)
+	ts := newTrialState(cfg, pol, DefaultScrubIntervalHours, false)
 	mkBank := func(die, bank uint32, hours float64, p fault.Persistence) fault.Fault {
 		return fault.Fault{
 			Class:       fault.Bank,
@@ -338,7 +338,7 @@ func TestPermanentFaultsPersistAcrossScrubs(t *testing.T) {
 	// With DDS the first bank is spared at the next scrub.
 	polDDS := pol
 	polDDS.NewSparer = ddsSparer
-	tsDDS := newTrialState(cfg, polDDS, DefaultScrubIntervalHours)
+	tsDDS := newTrialState(cfg, polDDS, DefaultScrubIntervalHours, false)
 	if when, _ := tsDDS.run(faults); when >= 0 {
 		t.Errorf("DDS failed to spare first bank; lost at %v", when)
 	}

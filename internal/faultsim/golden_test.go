@@ -1,0 +1,179 @@
+package faultsim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/parity"
+	"repro/internal/stack"
+)
+
+// Golden regression tests: fixed-seed, fixed-worker-count runs whose full
+// Result statistics (failure counts, by-year curve, proximate-cause tally)
+// are pinned to the values produced by the original batch-evaluation
+// engine. The incremental evaluator and the allocation-free trial loop must
+// keep these bit-identical — any drift here means the optimization changed
+// the statistics, not just the speed.
+//
+// The pinned values were captured from the pre-incremental engine (see
+// DESIGN.md "Incremental correctability evaluation"). Workers is pinned to
+// one because the per-worker RNG streams shape the sampled fault lifetimes;
+// a single worker reproduces on any machine.
+
+const goldenWorkers = 1
+
+type goldenCase struct {
+	name string
+	pol  func(cfg stack.Config) Policy
+	// opt knobs
+	trials    int
+	rateScale float64
+	tsvFIT    float64
+
+	wantFailures int
+	wantByYear   []int
+	wantCauses   map[string]int
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name: "3DP",
+			pol: func(cfg stack.Config) Policy {
+				return Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP)}
+			},
+			trials: 3000, rateScale: 30, tsvFIT: 0,
+			wantFailures: 2044,
+			wantByYear:   []int{123, 380, 752, 1126, 1485, 1786, 2044},
+			wantCauses: map[string]int{
+				"bank": 1518, "bit": 12, "column": 222, "row": 10, "subarray": 282,
+			},
+		},
+		{
+			name: "Citadel-3DP-DDS-swap",
+			pol: func(cfg stack.Config) Policy {
+				return Policy{
+					Name:       "Citadel",
+					Predicate:  ecc.NewParity(cfg, parity.ThreeDP),
+					UseTSVSwap: true,
+					NewSparer:  ddsSparer,
+				}
+			},
+			trials: 3000, rateScale: 30, tsvFIT: 1430,
+			wantFailures: 350,
+			wantByYear:   []int{0, 8, 27, 70, 159, 238, 350},
+			wantCauses:   map[string]int{"bank": 267, "column": 26, "subarray": 57},
+		},
+		{
+			name: "Symbol8-AcrossChannels",
+			pol: func(cfg stack.Config) Policy {
+				return Policy{Predicate: ecc.NewSymbol8(cfg, stack.AcrossChannels)}
+			},
+			trials: 3000, rateScale: 10, tsvFIT: 143,
+			wantFailures: 521,
+			wantByYear:   []int{17, 61, 126, 205, 306, 405, 521},
+			wantCauses: map[string]int{
+				"addr-tsv": 14, "bank": 187, "bit": 154, "column": 14,
+				"data-tsv": 87, "row": 32, "subarray": 17, "word": 16,
+			},
+		},
+		{
+			name: "1DP",
+			pol: func(cfg stack.Config) Policy {
+				return Policy{Predicate: ecc.NewParity(cfg, parity.OneDP)}
+			},
+			trials: 2000, rateScale: 30, tsvFIT: 0,
+			wantFailures: 1814,
+			wantByYear:   []int{324, 765, 1144, 1421, 1596, 1731, 1814},
+			wantCauses: map[string]int{
+				"bank": 1181, "bit": 423, "column": 39, "row": 69,
+				"subarray": 78, "word": 24,
+			},
+		},
+		{
+			name: "BCH-6EC7ED",
+			pol: func(cfg stack.Config) Policy {
+				return Policy{Predicate: ecc.NewBCH6EC7ED(cfg)}
+			},
+			trials: 2000, rateScale: 5, tsvFIT: 0,
+			wantFailures: 1032,
+			wantByYear:   []int{196, 360, 520, 675, 799, 918, 1032},
+			wantCauses: map[string]int{
+				"bank": 533, "row": 251, "subarray": 118, "word": 130,
+			},
+		},
+	}
+}
+
+func runGolden(t *testing.T, gc goldenCase, mutate func(*Options)) Result {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) < goldenWorkers {
+		t.Skipf("needs GOMAXPROCS >= %d for pinned worker streams", goldenWorkers)
+	}
+	opt := testOptions(gc.trials, gc.rateScale, gc.tsvFIT)
+	opt.Workers = goldenWorkers
+	if mutate != nil {
+		mutate(&opt)
+	}
+	return Run(opt, gc.pol(opt.Config))
+}
+
+func checkGolden(t *testing.T, gc goldenCase, res Result) {
+	t.Helper()
+	if res.Failures != gc.wantFailures {
+		t.Errorf("%s: Failures = %d, want %d", gc.name, res.Failures, gc.wantFailures)
+	}
+	if !reflect.DeepEqual(res.FailuresByYear, gc.wantByYear) {
+		t.Errorf("%s: FailuresByYear = %v, want %v", gc.name, res.FailuresByYear, gc.wantByYear)
+	}
+	if !reflect.DeepEqual(res.CauseCounts, gc.wantCauses) {
+		t.Errorf("%s: CauseCounts = %v, want %v", gc.name, res.CauseCounts, gc.wantCauses)
+	}
+	if res.Trials != gc.trials {
+		t.Errorf("%s: Trials = %d, want %d", gc.name, res.Trials, gc.trials)
+	}
+}
+
+// TestGoldenResults pins the engine's default (incremental) path.
+func TestGoldenResults(t *testing.T) {
+	skipInShort(t)
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			checkGolden(t, gc, runGolden(t, gc, nil))
+		})
+	}
+}
+
+// TestGoldenResultsBatchPath pins the DisableIncremental (batch oracle)
+// path to the same values: both evaluation strategies must produce
+// bit-identical statistics.
+func TestGoldenResultsBatchPath(t *testing.T) {
+	skipInShort(t)
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			checkGolden(t, gc, runGolden(t, gc, func(o *Options) {
+				o.DisableIncremental = true
+			}))
+		})
+	}
+}
+
+// printGolden regenerates the pinned literals; run with
+//
+//	go test -run TestGoldenResults -v -tags ignore ...
+//
+// by temporarily calling it from a test when rates or geometry change.
+func printGolden(t *testing.T) {
+	for _, gc := range goldenCases() {
+		res := runGolden(t, gc, nil)
+		fmt.Printf("%s:\n  wantFailures: %d,\n  wantByYear:   %#v,\n  wantCauses:   %#v,\n",
+			gc.name, res.Failures, res.FailuresByYear, res.CauseCounts)
+	}
+}
+
+var _ = printGolden

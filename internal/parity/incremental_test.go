@@ -1,0 +1,105 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestStateMatchesBatchOracle replays random add/remove sequences through
+// the incremental State and requires its verdict to match the batch
+// Analyzer.Uncorrectable on the same set after every single step.
+func TestStateMatchesBatchOracle(t *testing.T) {
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(31))
+	for _, dims := range []Dims{OneDP, TwoDP, ThreeDP} {
+		an := NewAnalyzer(cfg, dims)
+		st := an.NewState()
+		for seq := 0; seq < 60; seq++ {
+			st.Reset()
+			var cur []fault.Region
+			steps := 4 + rng.Intn(10)
+			for step := 0; step < steps; step++ {
+				if len(cur) > 0 && rng.Intn(3) == 0 {
+					// Remove a random present region.
+					i := rng.Intn(len(cur))
+					r := cur[i]
+					cur = append(cur[:i], cur[i+1:]...)
+					st.Remove(r)
+				} else {
+					r := randomRegion(rng, cfg)
+					r.Stack = rng.Intn(2)
+					if len(enumerateCells(cfg, r)) == 0 {
+						continue
+					}
+					cur = append(cur, r)
+					st.Add(r)
+				}
+				want := an.Uncorrectable(cur)
+				if got := st.Uncorrectable(); got != want {
+					t.Fatalf("%v seq %d step %d: incremental = %v, batch = %v\nset: %+v",
+						dims, seq, step, got, want, cur)
+				}
+				if st.Len() != len(cur) {
+					t.Fatalf("%v seq %d step %d: Len = %d, want %d", dims, seq, step, st.Len(), len(cur))
+				}
+			}
+		}
+	}
+}
+
+// TestStateRemoveAbsentRegionIsNoop pins the contract that removing a
+// region not in the set leaves the verdict untouched.
+func TestStateRemoveAbsentRegionIsNoop(t *testing.T) {
+	cfg := tinyConfig()
+	an := NewAnalyzer(cfg, ThreeDP)
+	st := an.NewState()
+	r := fault.Region{Stack: 0, Die: fault.ExactPattern(0), Bank: fault.ExactPattern(0),
+		Row: fault.ExactPattern(1), Col: fault.AllPattern()}
+	st.Add(r)
+	other := r
+	other.Row = fault.ExactPattern(2)
+	if st.Remove(other); st.Len() != 1 {
+		t.Fatalf("Remove of absent region changed the set: Len = %d", st.Len())
+	}
+	if st.Uncorrectable() {
+		t.Fatal("single row fault should stay correctable")
+	}
+}
+
+// TestStateSteadyStateAllocFree verifies the Add/Remove/Reset loop performs
+// no heap allocation once scratch buffers are warm.
+func TestStateSteadyStateAllocFree(t *testing.T) {
+	cfg := tinyConfig()
+	an := NewAnalyzer(cfg, ThreeDP)
+	st := an.NewState()
+	rng := rand.New(rand.NewSource(33))
+	var seqs [][]fault.Region
+	for i := 0; i < 8; i++ {
+		var s []fault.Region
+		for j := 0; j < 6; j++ {
+			r := randomRegion(rng, cfg)
+			if len(enumerateCells(cfg, r)) == 0 {
+				continue
+			}
+			s = append(s, r)
+		}
+		seqs = append(seqs, s)
+	}
+	replay := func() {
+		for _, s := range seqs {
+			st.Reset()
+			for _, r := range s {
+				st.Add(r)
+			}
+			for i := len(s) - 1; i >= 0; i-- {
+				st.Remove(s[i])
+			}
+		}
+	}
+	replay() // warm the scratch buffers
+	if allocs := testing.AllocsPerRun(20, replay); allocs != 0 {
+		t.Errorf("steady-state State loop allocates %.1f times per replay, want 0", allocs)
+	}
+}

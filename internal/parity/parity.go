@@ -148,8 +148,9 @@ func notExact(v uint32, bits int) []fault.Pattern {
 // Analyzer evaluates correctability of fault sets under a parity-dimension
 // configuration.
 type Analyzer struct {
-	cfg  stack.Config
-	dims Dims
+	cfg     stack.Config
+	dims    Dims
+	dimList []Dim // dims.List(), cached — the hot paths ask per fault pair
 
 	dieDomain                  int // data dies + metadata dies all carry parity
 	dieBits, bankBits, rowBits int
@@ -165,6 +166,7 @@ func NewAnalyzer(cfg stack.Config, dims Dims) *Analyzer {
 	return &Analyzer{
 		cfg:         cfg,
 		dims:        dims,
+		dimList:     dims.List(),
 		dieDomain:   dieDomain,
 		dieBits:     log2ceil(dieDomain),
 		bankBits:    log2ceil(cfg.BanksPerDie),
@@ -187,10 +189,8 @@ func log2ceil(n int) int {
 
 // firstValue returns the smallest member of p within [0, n); it must exist.
 func firstValue(p fault.Pattern, n uint32) uint32 {
-	for v := uint32(0); v < n; v++ {
-		if p.Contains(v) {
-			return v
-		}
+	if v, ok := p.First(n); ok {
+		return v
 	}
 	return 0
 }
@@ -332,7 +332,7 @@ func (an *Analyzer) splitNotDieRow(base fault.Region, d0, r0 uint32) []fault.Reg
 // each fault b (including a itself), then tests whether some combination of
 // one piece per dimension intersects non-emptily.
 func (an *Analyzer) lost(a fault.Region, live []fault.Region) bool {
-	dims := an.dims.List()
+	dims := an.dimList
 	if len(dims) == 0 {
 		return true
 	}

@@ -48,6 +48,9 @@ type DDS struct {
 	rrtRows map[bankKey]int
 	// brt lists banks remapped to spare banks, per stack.
 	brt map[int][]bankKey
+	// sparedScratch backs Offer's sparedLive result so bank escalation does
+	// not allocate on the simulator's hot path.
+	sparedScratch []int
 }
 
 // New builds DDS state with the paper's default budgets.
@@ -63,6 +66,15 @@ func NewWithBudget(cfg stack.Config, maxRowsPerBank, spareBanks int) *DDS {
 		spareBanks: spareBanks,
 		rrtRows:    make(map[bankKey]int),
 		brt:        make(map[int][]bankKey),
+	}
+}
+
+// Reset clears all sparing state, retaining table capacity so the Monte
+// Carlo engine can reuse a DDS across trials.
+func (d *DDS) Reset() {
+	clear(d.rrtRows)
+	for k, v := range d.brt {
+		d.brt[k] = v[:0]
 	}
 }
 
@@ -113,6 +125,9 @@ func (d *DDS) singleBank(r fault.Region) (die, bank int, ok bool) {
 //
 // Faults spanning multiple banks (unrepaired TSV remnants) cannot be spared
 // by DDS and are rejected.
+//
+// The returned sparedLive slice is backed by internal scratch and only
+// valid until the next Offer call; callers must consume it immediately.
 func (d *DDS) Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedLive []int) {
 	die, bank, ok := d.singleBank(f.Region)
 	if !ok {
@@ -134,6 +149,7 @@ func (d *DDS) Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedL
 	}
 	d.brt[key.Stack] = append(d.brt[key.Stack], key)
 	// Every live fault confined to this bank rides along.
+	sparedLive = d.sparedScratch[:0]
 	for i, g := range live {
 		if g.Region.Stack != key.Stack {
 			continue
@@ -142,6 +158,10 @@ func (d *DDS) Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedL
 		if ok && gd == key.Die && gb == key.Bank {
 			sparedLive = append(sparedLive, i)
 		}
+	}
+	d.sparedScratch = sparedLive
+	if len(sparedLive) == 0 {
+		return true, nil
 	}
 	return true, sparedLive
 }

@@ -68,6 +68,15 @@ func NewChannelWithPool(cfg stack.Config, n int) *Channel {
 	}
 }
 
+// Reset restores the channel to its freshly-built state, retaining map
+// capacity so the Monte Carlo engine can reuse channels across trials.
+func (c *Channel) Reset() {
+	clear(c.faultyData)
+	clear(c.faultyAddr)
+	clear(c.trr)
+	c.beatsFree = len(c.standby) * c.cfg.BurstLength
+}
+
 // Standby returns the stand-by data TSV indices.
 func (c *Channel) Standby() []int { return append([]int(nil), c.standby...) }
 
@@ -189,6 +198,29 @@ func (c *Channel) UnreachableAddrBits() []int {
 	return out
 }
 
+// HasCorruptedBits reports whether any unrepaired faulty data TSV remains —
+// the emptiness test of CorruptedBits without building the bit list (the
+// simulator asks this on every TSV event).
+func (c *Channel) HasCorruptedBits() bool {
+	for t := range c.faultyData {
+		if _, ok := c.trr[t]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// HasUnreachableAddr reports whether any unrepaired faulty address TSV
+// remains — the emptiness test of UnreachableAddrBits without allocating.
+func (c *Channel) HasUnreachableAddr() bool {
+	for k := range c.faultyAddr {
+		if _, ok := c.trr[AddrKey(k)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
 // Detector models Citadel's TSV-fault detection flow (paper §V-C.2): two
 // fixed rows per die hold known data at bit-inverse addresses. A CRC
 // mismatch on a demand read triggers a read of the fixed rows; a mismatch
@@ -213,7 +245,7 @@ func (d *Detector) FixedRowAddresses() (int, int) {
 // any unrepaired data-TSV fault corrupts their bits, or when an unrepaired
 // address-TSV fault makes one of them unreachable.
 func (d *Detector) CheckFixedRows() bool {
-	if len(d.ch.CorruptedBits()) > 0 || len(d.ch.UnreachableAddrBits()) > 0 {
+	if d.ch.HasCorruptedBits() || d.ch.HasUnreachableAddr() {
 		d.FixedRowsCorrupt = true
 		return true
 	}
@@ -238,6 +270,7 @@ type Swapper struct {
 	cfg      stack.Config
 	pool     int
 	channels map[[2]int]*Channel // (stack, die) -> channel state
+	dirty    bool                // any channel mutated since the last Reset
 }
 
 // NewSwapper builds system-wide TSV-SWAP state with the default pool.
@@ -260,6 +293,20 @@ func (s *Swapper) channel(stackIdx, die int) *Channel {
 	return ch
 }
 
+// Reset restores every channel to its freshly-built state, retaining the
+// channel objects and map capacity so a Swapper can be reused across Monte
+// Carlo trials. It is a no-op when nothing has been applied since the last
+// reset.
+func (s *Swapper) Reset() {
+	if !s.dirty {
+		return
+	}
+	for _, ch := range s.channels {
+		ch.Reset()
+	}
+	s.dirty = false
+}
+
 // Apply consumes a TSV fault event, injects it into the owning channel,
 // runs detection/BIST, and reports whether the fault was repaired. Non-TSV
 // faults are ignored (returned as unrepaired=false, handled=false).
@@ -267,6 +314,7 @@ func (s *Swapper) Apply(f fault.Fault) (handled, repaired bool) {
 	if !f.Class.IsTSV() {
 		return false, false
 	}
+	s.dirty = true
 	die := int(f.Region.Die.Val)
 	ch := s.channel(f.Region.Stack, die)
 	switch f.Class {
@@ -279,7 +327,11 @@ func (s *Swapper) Apply(f fault.Fault) (handled, repaired bool) {
 			return true, false
 		}
 	}
-	det := NewDetector(ch)
-	det.OnCRCMismatch()
+	// The detection flow of Detector.OnCRCMismatch, inlined so the hot path
+	// does not allocate a Detector per event: corrupt fixed rows implicate
+	// the TSVs and trigger BIST.
+	if ch.HasCorruptedBits() || ch.HasUnreachableAddr() {
+		ch.RunBIST()
+	}
 	return true, ch.Repaired(f)
 }
