@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-all clean
+.PHONY: all build vet staticcheck test race check bench bench.out bench-check bench-all clean
 
 all: check
 
@@ -14,6 +14,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Extra static analysis when the tool is available. Gated on `command -v`
+# so `make check` never downloads anything; CI installs staticcheck
+# explicitly (see .github/workflows/ci.yml).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -25,22 +35,31 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet test race
+check: build vet staticcheck test race
 
 # Engine performance gate: the Monte Carlo trial-loop microbenchmarks
 # (incremental vs batch evaluation, CRC variants, and the Figure-4 striping
 # study) funneled through cmd/benchjson into a benchstat-compatible JSON
 # report. `jq -r '.raw[]' BENCH_faultsim.json | benchstat /dev/stdin` renders
 # it; keep two reports around to benchstat before/after a change.
-bench:
+bench.out:
 	$(GO) test -run xxx -bench 'BenchmarkTrials|BenchmarkTrialStateRun|BenchmarkParityStateAdd' \
 		-benchmem ./internal/faultsim/ > bench.out
 	$(GO) test -run xxx -bench 'BenchmarkCRC' ./internal/crc/ >> bench.out
 	$(GO) test -run xxx -bench 'BenchmarkMonteCarloTrialThroughput|BenchmarkFig4StripingReliability' \
 		-benchmem . >> bench.out
+
+bench: bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_faultsim.json < bench.out
 	@rm -f bench.out
 	@echo wrote BENCH_faultsim.json
+
+# Regression gate: rerun the bench groups and fail on a >10% trials/s drop
+# or any allocs/op increase vs the committed BENCH_faultsim.json baseline.
+# Refresh the baseline with `make bench` after an intentional change.
+bench-check: bench.out
+	$(GO) run ./cmd/benchjson -compare BENCH_faultsim.json < bench.out
+	@rm -f bench.out
 
 # Full benchmark sweep (every table/figure regeneration; slow).
 bench-all:

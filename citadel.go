@@ -32,6 +32,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
+	"repro/internal/obs/trace"
 	"repro/internal/parity"
 	"repro/internal/sparing"
 	"repro/internal/stack"
@@ -210,6 +211,20 @@ type ReliabilityOptions struct {
 	Progress func(RunProgress)
 	// ProgressInterval throttles Progress callbacks (default 1s).
 	ProgressInterval time.Duration
+	// RunID correlates progress snapshots, forensic exemplars, metrics,
+	// and traces from one logical run.
+	RunID string
+	// Forensics enables failure forensics: every uncorrectable trial is
+	// bucketed into Result.Breakdown by fault-mode combination, and the
+	// first MaxExemplars failures are captured as replayable Forensic
+	// records with machine-readable reason chains.
+	Forensics bool
+	// MaxExemplars bounds the captured exemplars (default 8 when
+	// Forensics is set).
+	MaxExemplars int
+	// Trace, when non-nil, records sampled per-trial spans and failure
+	// instants into the flight recorder.
+	Trace *trace.Recorder
 }
 
 // Result is the outcome of a reliability run.
@@ -254,6 +269,10 @@ func (o ReliabilityOptions) engineOptions() faultsim.Options {
 		Workers:            o.Workers,
 		Progress:           o.Progress,
 		ProgressInterval:   o.ProgressInterval,
+		RunID:              o.RunID,
+		Forensics:          o.Forensics,
+		MaxExemplars:       o.MaxExemplars,
+		Trace:              o.Trace,
 	}
 }
 

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	go test -bench=... -benchmem ./... | benchjson -o BENCH_faultsim.json
+//	go test -bench=... -benchmem ./... | benchjson -compare BENCH_faultsim.json
+//
+// -compare gates performance against a baseline report: the run fails
+// (exit 1) when any benchmark present in both reports regresses its
+// trials/s throughput by more than -tolerance (default 10%) or increases
+// its allocs/op at all. Benchmarks missing from either side are reported
+// but do not fail the gate.
 //
 // Non-benchmark lines (PASS, ok, test logs) are ignored; context lines
 // (goos/goarch/pkg/cpu) are captured into the report header.
@@ -49,6 +56,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional trials/s regression vs the baseline")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -59,6 +68,31 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		regressions, notes := compareReports(&base, rep, *tolerance)
+		for _, n := range notes {
+			fmt.Println(n)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: no regressions vs %s (%d benchmarks compared)\n",
+			*compare, len(notes))
+		return
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -74,6 +108,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareReports gates cur against base: a benchmark regresses when its
+// trials/s drops more than tolerance below the baseline, or its allocs/op
+// rises above the baseline at all (the trial loop is a zero-allocation
+// contract, so any increase is a leak, not noise). Returns the failing
+// descriptions plus one human-readable note per compared benchmark.
+func compareReports(base, cur *Report, tolerance float64) (regressions, notes []string) {
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Pkg+"/"+b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		old, ok := baseline[b.Pkg+"/"+b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%-50s new (no baseline)", b.Name))
+			continue
+		}
+		line := fmt.Sprintf("%-50s", b.Name)
+		if bt, ct := old.Metrics["trials/s"], b.Metrics["trials/s"]; bt > 0 {
+			ratio := ct / bt
+			line += fmt.Sprintf(" trials/s %.0f -> %.0f (%+.1f%%)", bt, ct, 100*(ratio-1))
+			if ratio < 1-tolerance {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: trials/s %.0f -> %.0f (%.1f%% below baseline, tolerance %.0f%%)",
+					b.Name, bt, ct, 100*(1-ratio), 100*tolerance))
+			}
+		}
+		if ba, ok := old.Metrics["allocs/op"]; ok {
+			ca := b.Metrics["allocs/op"]
+			line += fmt.Sprintf(" allocs/op %.0f -> %.0f", ba, ca)
+			if ca > ba {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: allocs/op %.0f -> %.0f (any increase fails)", b.Name, ba, ca))
+			}
+		}
+		notes = append(notes, line)
+	}
+	return regressions, notes
 }
 
 func parse(r io.Reader) (*Report, error) {

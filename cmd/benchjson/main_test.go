@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/faultsim
+cpu: Test CPU
+BenchmarkTrials/Citadel-8   	     100	  10000000 ns/op	       100000 trials/s	       0 B/op	       0 allocs/op
+BenchmarkTrialStateRun-8    	    1000	   1000000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/faultsim	2.0s
+`
+
+func mustParse(t *testing.T, s string) *Report {
+	t.Helper()
+	rep, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	rep := mustParse(t, benchOutput)
+	if rep.Goos != "linux" || rep.CPU != "Test CPU" {
+		t.Fatalf("header = %q/%q", rep.Goos, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Pkg != "repro/internal/faultsim" {
+		t.Fatalf("pkg = %q", b.Pkg)
+	}
+	if b.Metrics["trials/s"] != 100000 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := mustParse(t, benchOutput)
+	// 5% slower is inside the 10% tolerance.
+	cur := mustParse(t, strings.ReplaceAll(benchOutput, "100000 trials/s", "95000 trials/s"))
+	regressions, notes := compareReports(base, cur, 0.10)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressions)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("got %d notes, want 2: %v", len(notes), notes)
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	base := mustParse(t, benchOutput)
+	cur := mustParse(t, strings.ReplaceAll(benchOutput, "100000 trials/s", "80000 trials/s"))
+	regressions, _ := compareReports(base, cur, 0.10)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "trials/s") {
+		t.Fatalf("regressions = %v, want one trials/s failure", regressions)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := mustParse(t, benchOutput)
+	// Any alloc increase fails, even with throughput unchanged.
+	cur := mustParse(t, strings.Replace(benchOutput, "0 allocs/op", "1 allocs/op", 1))
+	regressions, _ := compareReports(base, cur, 0.10)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "allocs/op") {
+		t.Fatalf("regressions = %v, want one allocs/op failure", regressions)
+	}
+}
+
+func TestCompareIgnoresUnmatchedBenchmarks(t *testing.T) {
+	base := mustParse(t, benchOutput)
+	cur := mustParse(t, strings.ReplaceAll(benchOutput, "BenchmarkTrialStateRun", "BenchmarkBrandNew"))
+	regressions, notes := compareReports(base, cur, 0.10)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressions)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "BenchmarkBrandNew") && strings.Contains(n, "no baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new benchmark not noted: %v", notes)
+	}
+}

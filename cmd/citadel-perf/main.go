@@ -5,7 +5,13 @@
 //
 //	citadel-perf -benchmark mcf -striping across-channels
 //	citadel-perf -benchmark all -protection 3dp
+//	citadel-perf -benchmark mcf -phases -trace mcf.json
 //	citadel-perf -list
+//
+// -phases prints the per-read latency attribution (queue / activate / cas /
+// bus / burst, plus the 3DP parity overhead). -trace writes sampled
+// per-request spans as Chrome trace-event JSON (timestamps in memory-bus
+// cycles; open in Perfetto / chrome://tracing).
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"os"
 
 	citadel "repro"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func parseStriping(s string) (citadel.Striping, bool) {
@@ -48,6 +56,9 @@ func main() {
 		requests   = flag.Int("requests", 100000, "memory requests to simulate")
 		seed       = flag.Int64("seed", 1, "random seed")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
+		phases     = flag.Bool("phases", false, "print per-read latency attribution")
+		traceOut   = flag.String("trace", "", "write sampled request spans (Chrome trace-event JSON) to this file")
+		sample     = flag.Int("sample", 64, "trace: keep roughly 1-in-N read spans")
 	)
 	flag.Parse()
 
@@ -80,16 +91,52 @@ func main() {
 		benches = []citadel.Benchmark{b}
 	}
 
+	var rec *trace.Recorder
+	runID := obs.NewRunID()
+	if *traceOut != "" {
+		rec = trace.New(trace.Options{
+			RunID:       runID,
+			SampleEvery: *sample,
+			Seed:        *seed,
+			ClockUnit:   "cycles",
+		})
+	}
+
 	fmt.Printf("%-12s %-9s %14s %14s %16s %10s\n",
 		"benchmark", "suite", "cycles", "norm.time", "active power W", "row-hit")
 	for _, b := range benches {
 		base := citadel.SimulatePerformance(b, citadel.PerfOptions{Requests: *requests, Seed: *seed})
 		r := citadel.SimulatePerformance(b, citadel.PerfOptions{
 			Striping: st, Protection: prot, Requests: *requests, Seed: *seed,
+			RunID: runID, Tracer: rec,
 		})
 		fmt.Printf("%-12s %-9s %14d %14.3f %16.3f %9.1f%%\n",
 			b.Name, b.Suite, r.Cycles,
 			float64(r.Cycles)/float64(base.Cycles),
 			r.ActivePowerWatts, 100*r.RowHitRate)
+		if *phases {
+			p := r.ReadPhases
+			fmt.Printf("%-12s   read latency %.1f cycles = queue %.1f + activate %.1f + cas %.1f + bus %.1f + burst %.1f",
+				"", r.AvgReadLatencyCycles, p.Queue, p.Activate, p.CAS, p.Bus, p.Burst)
+			if r.AvgParityOverheadCycles > 0 {
+				fmt.Printf("; parity overhead %.1f cycles/writeback", r.AvgParityOverheadCycles)
+			}
+			fmt.Println()
+		}
+	}
+	if rec.Enabled() {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = rec.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: run=%s %d events (%d dropped) -> %s\n",
+			runID, rec.Len(), rec.Dropped(), *traceOut)
 	}
 }

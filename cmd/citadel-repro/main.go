@@ -7,10 +7,16 @@
 //	citadel-repro -experiment ablations      # design-choice sensitivity studies
 //	citadel-repro -experiment everything     # both
 //	citadel-repro -experiment fig18 -trials 1000000
+//	citadel-repro -forensics fail.json       # replay a forensics report
 //
 // Experiments: table1 table2 fig4 fig5 fig9 fig13 fig14 fig15 fig16 fig17
 // table3 fig18 fig19 overhead; ablations: orgs scrub spares tsvpool
 // paritysens.
+//
+// -forensics replays every exemplar of a report written by
+// `citadel-sim -forensics` from its recorded seed coordinates and verifies
+// the reproduced fault sets, failure times, and reason chains match the
+// recording exactly (exit 1 on divergence).
 package main
 
 import (
@@ -24,8 +30,69 @@ import (
 	"syscall"
 	"time"
 
+	citadel "repro"
 	"repro/internal/experiments"
 )
+
+// replayForensics loads a forensics report, replays every exemplar, and
+// prints the verdicts. Returns an exit code.
+func replayForensics(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var report citadel.ForensicsReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "parsing %s: %v\n", path, err)
+		return 2
+	}
+	fmt.Printf("report: run=%s scheme=%s seed=%d trials=%d failures=%d\n",
+		report.RunID, report.Scheme, report.Seed, report.Trials, report.Failures)
+	if len(report.Breakdown) > 0 {
+		fmt.Println("failure breakdown:")
+		for mode, n := range report.Breakdown {
+			fmt.Printf("  %-28s %d\n", mode, n)
+		}
+	}
+	if len(report.Exemplars) == 0 {
+		fmt.Println("no exemplars to replay")
+		return 0
+	}
+	scheme, ok := citadel.SchemeByName(report.Scheme)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", report.Scheme)
+		return 2
+	}
+	opts := report.Options()
+	failed := false
+	for i, ex := range report.Exemplars {
+		got, ok := citadel.ReplayExemplar(opts, scheme, ex)
+		switch {
+		case !ok:
+			fmt.Printf("exemplar %d: NOT REPRODUCED (%s)\n", i, ex)
+			failed = true
+		case got.Mode != ex.Mode || got.FailureHours != ex.FailureHours:
+			fmt.Printf("exemplar %d: DIVERGED got=(%s %.0fh) want=(%s %.0fh)\n",
+				i, got.Mode, got.FailureHours, ex.Mode, ex.FailureHours)
+			failed = true
+		default:
+			fmt.Printf("exemplar %d: reproduced %s at %.0fh; reasons:\n", i, ex.Mode, ex.FailureHours)
+			for _, r := range got.Reasons {
+				fmt.Printf("    %-24s %s\n", r.Code, r.Detail)
+			}
+		}
+	}
+	if err := citadel.VerifyReport(report); err != nil {
+		fmt.Fprintf(os.Stderr, "verification: %v\n", err)
+		return 1
+	}
+	if failed {
+		return 1
+	}
+	fmt.Printf("all %d exemplars reproduced exactly\n", len(report.Exemplars))
+	return 0
+}
 
 func main() {
 	var (
@@ -35,8 +102,13 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON lines")
 		progress   = flag.Bool("progress", true, "report finished experiment phases on stderr")
+		forensics  = flag.String("forensics", "", "replay and verify a forensics report written by citadel-sim -forensics")
 	)
 	flag.Parse()
+
+	if *forensics != "" {
+		os.Exit(replayForensics(*forensics))
+	}
 
 	opt := experiments.DefaultOptions()
 	if *trials > 0 {

@@ -15,6 +15,7 @@
 //	POST /api/v1/reliability   {"scheme":"Citadel","trials":100000,"tsvFit":1430,"tsvSwap":true}
 //	POST /api/v1/performance   {"benchmark":"mcf","striping":"across-channels"}
 //	GET  /metrics              Prometheus text metrics (engine + API counters)
+//	GET  /debug/trace          flight-recorder dump (only with -trace; ?format=text)
 //	GET  /debug/pprof/         live profiling (only with -pprof)
 //
 // Every simulation run gets a run ID, returned in the X-Run-Id response
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs/trace"
 )
 
 func main() {
@@ -52,14 +54,28 @@ func main() {
 		simTimeout    = flag.Duration("sim-timeout", 5*time.Minute, "per-request simulation deadline (expired runs return partial results)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "shutdown: how long to wait for in-flight runs before cancelling them")
 		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
+		traceCap      = flag.Int("trace", 0, "flight-recorder capacity in events; >0 mounts GET /debug/trace")
+		traceSample   = flag.Int("trace-sample", 64, "flight recorder: keep roughly 1-in-N spans")
 	)
 	flag.Parse()
+
+	// The process flight recorder is shared by every simulation run; each
+	// run's spans carry its X-Run-Id for correlation.
+	var rec *trace.Recorder
+	if *traceCap > 0 {
+		rec = trace.New(trace.Options{
+			Capacity:    *traceCap,
+			SampleEvery: *traceSample,
+			RunID:       "citadel-server",
+		})
+	}
 
 	apiSrv := api.New(api.Options{
 		MaxConcurrent: *maxConcurrent,
 		QueueWait:     *queueWait,
 		SimTimeout:    *simTimeout,
 		EnablePprof:   *enablePprof,
+		Trace:         rec,
 	})
 
 	// baseCtx underlies every request context: cancelling it (when the

@@ -7,11 +7,17 @@
 //	citadel-sim -scheme 3DP -tsvswap -years 5
 //	citadel-sim -scheme Citadel -target-failures 50 -max-trials 5000000
 //	citadel-sim -rates myrates.json -scheme 3DP
+//	citadel-sim -scheme 3DP -tsv-fit 1430 -forensics fail.json -trace run.json
 //	citadel-sim -list
+//
+// -forensics writes a replayable failure-forensics report (feed it to
+// citadel-repro -forensics to verify). -trace writes the flight recorder
+// as Chrome trace-event JSON (open in Perfetto / chrome://tracing).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +27,24 @@ import (
 
 	citadel "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
@@ -37,6 +60,10 @@ func main() {
 		targetFail = flag.Int("target-failures", 0, "adaptive mode: add trials until this many failures")
 		maxTrials  = flag.Int("max-trials", 0, "adaptive mode: trial cap (default 10x -trials)")
 		progress   = flag.Duration("progress", 2*time.Second, "progress report interval on stderr (0 disables)")
+		forensics  = flag.String("forensics", "", "write a replayable failure-forensics report (JSON) to this file")
+		exemplars  = flag.Int("exemplars", 8, "forensics: max exemplar records captured")
+		traceOut   = flag.String("trace", "", "write the flight recorder (Chrome trace-event JSON) to this file")
+		sample     = flag.Int("sample", 64, "trace: keep roughly 1-in-N trial spans")
 	)
 	flag.Parse()
 
@@ -75,6 +102,16 @@ func main() {
 		ScrubIntervalHours: *scrub,
 		TSVSwap:            *tsvSwap,
 		Seed:               *seed,
+		RunID:              obs.NewRunID(),
+		Forensics:          *forensics != "",
+		MaxExemplars:       *exemplars,
+	}
+	if *traceOut != "" {
+		opts.Trace = trace.New(trace.Options{
+			RunID:       opts.RunID,
+			SampleEvery: *sample,
+			Seed:        *seed,
+		})
 	}
 	// Periodic progress on stderr, so a long or interrupted run shows what
 	// it was doing. The final snapshot (Done) is skipped: the result line
@@ -85,8 +122,8 @@ func main() {
 			if p.Done {
 				return
 			}
-			fmt.Fprintf(os.Stderr, "progress: %s trials=%d/%d failures=%d scrubs=%d rate=%.0f trials/s elapsed=%s\n",
-				p.Policy, p.TrialsDone, p.TrialsTarget, p.Failures, p.ScrubPasses,
+			fmt.Fprintf(os.Stderr, "progress: run=%s %s trials=%d/%d failures=%d scrubs=%d rate=%.0f trials/s elapsed=%s\n",
+				p.RunID, p.Policy, p.TrialsDone, p.TrialsTarget, p.Failures, p.ScrubPasses,
 				p.TrialsPerSec(), p.Elapsed.Round(time.Second))
 		}
 	}
@@ -104,6 +141,30 @@ func main() {
 	stop()
 	if res.Partial {
 		fmt.Fprintf(os.Stderr, "interrupted: partial result over %d completed trials\n", res.Trials)
+	}
+	if *forensics != "" {
+		report := citadel.NewForensicsReport(opts, scheme, res)
+		if err := writeJSONFile(*forensics, report); err != nil {
+			fmt.Fprintf(os.Stderr, "writing forensics report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "forensics: run=%s %d failure modes, %d exemplars -> %s\n",
+			opts.RunID, len(report.Breakdown), len(report.Exemplars), *forensics)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = opts.Trace.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: run=%s %d events (%d dropped) -> %s\n",
+			opts.RunID, opts.Trace.Len(), opts.Trace.Dropped(), *traceOut)
 	}
 	fmt.Println(res)
 	if res.Trials == 0 {

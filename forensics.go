@@ -1,0 +1,138 @@
+package citadel
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/faultsim"
+)
+
+// Forensic is a replayable post-mortem record of one uncorrectable trial:
+// seed coordinates, the live fault set at failure, and a machine-readable
+// reason chain naming the correction mechanisms that were defeated.
+type Forensic = faultsim.Forensic
+
+// Reason is one entry of a forensic reason chain.
+type Reason = ecc.Reason
+
+// ForensicsReport is the self-contained failure-forensics document written
+// by `citadel-sim -forensics out.json` and replayed by
+// `citadel-repro -forensics out.json`: it carries both the forensic records
+// and every run parameter needed to reproduce them.
+type ForensicsReport struct {
+	RunID              string         `json:"runId,omitempty"`
+	Scheme             string         `json:"scheme"`
+	Seed               int64          `json:"seed"`
+	Workers            int            `json:"workers"`
+	Trials             int            `json:"trials"`
+	LifetimeYears      float64        `json:"lifetimeYears"`
+	ScrubIntervalHours float64        `json:"scrubIntervalHours"`
+	TSVFIT             float64        `json:"tsvFit"`
+	TSVSwap            bool           `json:"tsvSwap"`
+	Failures           int            `json:"failures"`
+	Breakdown          map[string]int `json:"breakdown,omitempty"`
+	Exemplars          []Forensic     `json:"exemplars,omitempty"`
+}
+
+// NewForensicsReport assembles the report for a completed forensics run.
+func NewForensicsReport(opts ReliabilityOptions, scheme Scheme, res Result) ForensicsReport {
+	opts = opts.withDefaults()
+	return ForensicsReport{
+		RunID:              opts.RunID,
+		Scheme:             scheme.String(),
+		Seed:               opts.Seed,
+		Workers:            opts.Workers,
+		Trials:             res.Trials,
+		LifetimeYears:      opts.LifetimeYears,
+		ScrubIntervalHours: opts.ScrubIntervalHours,
+		TSVFIT:             opts.Rates.TSVPerDie,
+		TSVSwap:            opts.TSVSwap,
+		Failures:           res.Failures,
+		Breakdown:          res.Breakdown,
+		Exemplars:          res.Exemplars,
+	}
+}
+
+// Options reconstructs the reliability options a report's exemplars replay
+// under. Geometry and non-TSV rates use the defaults; runs with custom
+// geometry must rebuild ReliabilityOptions themselves.
+func (r ForensicsReport) Options() ReliabilityOptions {
+	rates := Table1Rates()
+	rates.TSVPerDie = r.TSVFIT
+	return ReliabilityOptions{
+		Rates:              rates,
+		Trials:             r.Trials,
+		LifetimeYears:      r.LifetimeYears,
+		ScrubIntervalHours: r.ScrubIntervalHours,
+		TSVSwap:            r.TSVSwap,
+		Seed:               r.Seed,
+		Workers:            r.Workers,
+		RunID:              r.RunID,
+	}.withDefaults()
+}
+
+// SchemeByName resolves a scheme from its String() name (as recorded in a
+// ForensicsReport).
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return SchemeNone, false
+}
+
+// ReplayExemplar re-executes the exemplar's trial from its recorded seed
+// coordinates under opts and scheme, returning the reproduced forensic
+// record. ok is false when the replayed trial does not fail — the
+// options/scheme no longer match the recording.
+func ReplayExemplar(opts ReliabilityOptions, scheme Scheme, ex Forensic) (Forensic, bool) {
+	opts = opts.withDefaults()
+	return faultsim.ReplayForensic(opts.engineOptions(), scheme.policy(opts.Config, opts.TSVSwap), ex)
+}
+
+// VerifyReport replays every exemplar of a report and returns an error
+// describing the first divergence (nil when all exemplars reproduce their
+// recorded fault sets and verdicts exactly).
+func VerifyReport(r ForensicsReport) error {
+	scheme, ok := SchemeByName(r.Scheme)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", r.Scheme)
+	}
+	opts := r.Options()
+	for i, ex := range r.Exemplars {
+		got, ok := ReplayExemplar(opts, scheme, ex)
+		if !ok {
+			return fmt.Errorf("exemplar %d (%s) did not reproduce a failure", i, ex)
+		}
+		if err := diffForensic(got, ex); err != nil {
+			return fmt.Errorf("exemplar %d diverges: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// diffForensic compares the replay-relevant fields of two records.
+func diffForensic(got, want Forensic) error {
+	if got.FailureHours != want.FailureHours || got.Cause != want.Cause || got.Mode != want.Mode {
+		return fmt.Errorf("verdict differs: got (%.1fh %s %s), want (%.1fh %s %s)",
+			got.FailureHours, got.Cause, got.Mode, want.FailureHours, want.Cause, want.Mode)
+	}
+	if len(got.Faults) != len(want.Faults) {
+		return fmt.Errorf("fault count differs: got %d, want %d", len(got.Faults), len(want.Faults))
+	}
+	for i := range got.Faults {
+		if got.Faults[i] != want.Faults[i] {
+			return fmt.Errorf("fault %d differs: got %v, want %v", i, got.Faults[i], want.Faults[i])
+		}
+	}
+	if len(got.Reasons) != len(want.Reasons) {
+		return fmt.Errorf("reason count differs: got %v, want %v", got.Reasons, want.Reasons)
+	}
+	for i := range got.Reasons {
+		if got.Reasons[i] != want.Reasons[i] {
+			return fmt.Errorf("reason %d differs: got %v, want %v", i, got.Reasons[i], want.Reasons[i])
+		}
+	}
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 
 	citadel "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Server-level metrics, exposed at GET /metrics alongside the engine
@@ -66,6 +67,11 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
 	// profiling. Off by default; enable only on trusted networks.
 	EnablePprof bool
+	// Trace, when non-nil, is the process flight recorder: simulation runs
+	// record sampled spans into it (tagged with their X-Run-Id), and the
+	// retained events are served at GET /debug/trace as Chrome trace-event
+	// JSON (?format=text for a line dump).
+	Trace *trace.Recorder
 }
 
 // withDefaults fills zero fields.
@@ -127,6 +133,7 @@ func (s *Server) Drain() { s.draining.Store(true) }
 //	POST /api/v1/reliability  run a Monte Carlo study
 //	POST /api/v1/performance  run the timing/power model
 //	GET  /metrics             Prometheus text metrics (engine + API)
+//	GET  /debug/trace         flight-recorder dump (only with Options.Trace)
 //	GET  /debug/pprof/...     live profiling (only with Options.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -138,6 +145,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /api/v1/performance", s.handlePerformance)
 	mux.Handle("GET /metrics", obs.Default().Handler())
+	if s.opts.Trace.Enabled() {
+		mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	}
 	if s.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -328,24 +338,37 @@ type ReliabilityRequest struct {
 	Seed           int64   `json:"seed"`
 	TargetFailures int     `json:"targetFailures"` // >0 enables adaptive mode
 	MaxTrials      int     `json:"maxTrials"`
+	// Forensics enables failure forensics: the response then carries the
+	// per-mode failure breakdown and up to MaxExemplars replayable
+	// exemplar records.
+	Forensics    bool `json:"forensics"`
+	MaxExemplars int  `json:"maxExemplars"`
 }
 
 // ReliabilityResponse mirrors citadel.Result. Partial marks a run cut
 // short by cancellation or the per-run deadline: Trials then counts only
-// the completed trials and the statistics cover those.
+// the completed trials and the statistics cover those. RunID echoes the
+// X-Run-Id header so the run's log lines, forensic exemplars, and trace
+// events can be correlated from the body alone.
 type ReliabilityResponse struct {
-	Policy      string         `json:"policy"`
-	Trials      int            `json:"trials"`
-	Failures    int            `json:"failures"`
-	Probability float64        `json:"probability"`
-	CI95        float64        `json:"ci95"`
-	ByYear      []float64      `json:"probabilityByYear"`
-	Causes      map[string]int `json:"causes,omitempty"`
-	Partial     bool           `json:"partial,omitempty"`
+	RunID       string             `json:"runId"`
+	Policy      string             `json:"policy"`
+	Trials      int                `json:"trials"`
+	Failures    int                `json:"failures"`
+	Probability float64            `json:"probability"`
+	CI95        float64            `json:"ci95"`
+	ByYear      []float64          `json:"probabilityByYear"`
+	Causes      map[string]int     `json:"causes,omitempty"`
+	Breakdown   map[string]int     `json:"breakdown,omitempty"`
+	Exemplars   []citadel.Forensic `json:"exemplars,omitempty"`
+	Partial     bool               `json:"partial,omitempty"`
 }
 
 // maxTrialsPerCall bounds request cost.
 const maxTrialsPerCall = 5_000_000
+
+// maxExemplarsPerCall bounds the forensic payload of one response.
+const maxExemplarsPerCall = 64
 
 func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	var req ReliabilityRequest
@@ -366,6 +389,10 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Trials < 0 || req.MaxTrials < 0 || req.TargetFailures < 0 {
 		s.writeError(w, http.StatusBadRequest, "trials, maxTrials and targetFailures must be non-negative")
+		return
+	}
+	if req.MaxExemplars < 0 || req.MaxExemplars > maxExemplarsPerCall {
+		s.writeError(w, http.StatusBadRequest, "maxExemplars must be in [0, %d]", maxExemplarsPerCall)
 		return
 	}
 	if req.LifetimeYears < 0 || req.ScrubHours < 0 || req.TSVFIT < 0 {
@@ -399,6 +426,10 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		ScrubIntervalHours: req.ScrubHours,
 		TSVSwap:            req.TSVSwap,
 		Seed:               req.Seed,
+		RunID:              runID,
+		Forensics:          req.Forensics,
+		MaxExemplars:       req.MaxExemplars,
+		Trace:              s.opts.Trace,
 	}
 	var res citadel.Result
 	if req.TargetFailures > 0 {
@@ -413,6 +444,7 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		byYear[y] = res.ProbabilityByYear(y + 1)
 	}
 	s.writeJSON(w, http.StatusOK, ReliabilityResponse{
+		RunID:       runID,
 		Policy:      res.Policy,
 		Trials:      res.Trials,
 		Failures:    res.Failures,
@@ -420,6 +452,8 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		CI95:        res.CI95(),
 		ByYear:      byYear,
 		Causes:      res.CauseCounts,
+		Breakdown:   res.Breakdown,
+		Exemplars:   res.Exemplars,
 		Partial:     res.Partial,
 	})
 }
@@ -437,6 +471,7 @@ type PerformanceRequest struct {
 // Partial marks a run cut short by cancellation or the per-run deadline;
 // the normalized ratios then cover the completed request prefix.
 type PerformanceResponse struct {
+	RunID            string  `json:"runId"`
 	Benchmark        string  `json:"benchmark"`
 	Cycles           uint64  `json:"cycles"`
 	NormalizedTime   float64 `json:"normalizedTime"`
@@ -444,7 +479,14 @@ type PerformanceResponse struct {
 	NormalizedPower  float64 `json:"normalizedPower"`
 	RowHitRate       float64 `json:"rowHitRate"`
 	AvgReadLatency   float64 `json:"avgReadLatencyCycles"`
-	Partial          bool    `json:"partial,omitempty"`
+	// ReadPhases attributes the average demand-read latency (memory-bus
+	// cycles per read) to queueing, activation, column access, bus
+	// contention, and burst transfer.
+	ReadPhases citadel.ReadPhases `json:"readPhases"`
+	// AvgParityOverhead is the mean background cycles per parity-touching
+	// writeback (zero without 3DP protection).
+	AvgParityOverhead float64 `json:"avgParityOverheadCycles"`
+	Partial           bool    `json:"partial,omitempty"`
 }
 
 func (s *Server) handlePerformance(w http.ResponseWriter, r *http.Request) {
@@ -508,6 +550,7 @@ func (s *Server) handlePerformance(w http.ResponseWriter, r *http.Request) {
 	base := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{Requests: req.Requests, Seed: req.Seed})
 	res := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{
 		Striping: striping, Protection: prot, Requests: req.Requests, Seed: req.Seed,
+		RunID: runID, Tracer: s.opts.Trace,
 	})
 	s.opts.Logf("api: run=%s kind=performance benchmark=%s requestsDone=%d partial=%t duration=%s done",
 		runID, req.Benchmark, res.RequestsDone, base.Partial || res.Partial, time.Since(start).Round(time.Millisecond))
@@ -521,13 +564,36 @@ func (s *Server) handlePerformance(w http.ResponseWriter, r *http.Request) {
 		normPower = res.ActivePowerWatts / base.ActivePowerWatts
 	}
 	s.writeJSON(w, http.StatusOK, PerformanceResponse{
-		Benchmark:        res.Benchmark,
-		Cycles:           res.Cycles,
-		NormalizedTime:   normTime,
-		ActivePowerWatts: res.ActivePowerWatts,
-		NormalizedPower:  normPower,
-		RowHitRate:       res.RowHitRate,
-		AvgReadLatency:   res.AvgReadLatencyCycles,
-		Partial:          base.Partial || res.Partial,
+		RunID:             runID,
+		Benchmark:         res.Benchmark,
+		Cycles:            res.Cycles,
+		NormalizedTime:    normTime,
+		ActivePowerWatts:  res.ActivePowerWatts,
+		NormalizedPower:   normPower,
+		RowHitRate:        res.RowHitRate,
+		AvgReadLatency:    res.AvgReadLatencyCycles,
+		ReadPhases:        res.ReadPhases,
+		AvgParityOverhead: res.AvgParityOverheadCycles,
+		Partial:           base.Partial || res.Partial,
 	})
+}
+
+// handleDebugTrace serves the process flight recorder. The default is
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing);
+// ?format=text renders a line dump for quick terminal inspection.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.opts.Trace.WriteChromeTrace(w); err != nil {
+			s.opts.Logf("api: writing trace: %v", err)
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.opts.Trace.WriteText(w); err != nil {
+			s.opts.Logf("api: writing trace: %v", err)
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown format %q (want json or text)", r.URL.Query().Get("format"))
+	}
 }

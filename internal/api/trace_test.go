@@ -1,0 +1,180 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+// TestDebugTraceEndpoint: a server built with a recorder serves the
+// flight-recorder contents at /debug/trace, populated by simulation runs
+// and correlated with their X-Run-Id.
+func TestDebugTraceEndpoint(t *testing.T) {
+	rec := trace.New(trace.Options{Capacity: 4096, RunID: "proc"})
+	srv := httptest.NewServer(New(Options{Logf: quietLogf, Trace: rec}).Handler())
+	defer srv.Close()
+
+	var rel struct {
+		RunID string `json:"runId"`
+	}
+	resp := postJSON(t, srv.URL+"/api/v1/reliability",
+		map[string]any{"scheme": "None", "trials": 500}, &rel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reliability status %d", resp.StatusCode)
+	}
+	if rel.RunID == "" || rel.RunID != resp.Header.Get("X-Run-Id") {
+		t.Fatalf("response runId %q does not match X-Run-Id %q", rel.RunID, resp.Header.Get("X-Run-Id"))
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	tresp := getJSON(t, srv.URL+"/debug/trace", &doc)
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tresp.StatusCode)
+	}
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type %q", ct)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events after a simulation run")
+	}
+	sawRun := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "run" && ev.Ph == "X" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Error("no run span in trace")
+	}
+
+	textResp, err := http.Get(srv.URL + "/debug/trace?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer textResp.Body.Close()
+	body, _ := io.ReadAll(textResp.Body)
+	if !strings.HasPrefix(string(body), "# trace ") {
+		t.Errorf("text dump header missing: %.60q", string(body))
+	}
+
+	badResp, err := http.Get(srv.URL + "/debug/trace?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format status %d, want 400", badResp.StatusCode)
+	}
+}
+
+// TestDebugTraceAbsentWithoutRecorder: without Options.Trace the route
+// must not exist.
+func TestDebugTraceAbsentWithoutRecorder(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReliabilityForensics: with forensics requested, the response carries
+// a breakdown summing to failures plus exemplar records; without it, the
+// fields stay absent.
+func TestReliabilityForensics(t *testing.T) {
+	srv := testServer(t)
+	req := map[string]any{
+		"scheme": "None", "trials": 4000, "tsvFit": 1000,
+		"lifetimeYears": 7, "seed": 7, "forensics": true,
+	}
+	var out struct {
+		RunID     string           `json:"runId"`
+		Failures  int              `json:"failures"`
+		Breakdown map[string]int   `json:"breakdown"`
+		Exemplars []map[string]any `json:"exemplars"`
+	}
+	resp := postJSON(t, srv.URL+"/api/v1/reliability", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Failures == 0 {
+		t.Fatal("expected failures from the unprotected scheme at these rates")
+	}
+	sum := 0
+	for _, n := range out.Breakdown {
+		sum += n
+	}
+	if sum != out.Failures {
+		t.Errorf("breakdown sums to %d, failures = %d", sum, out.Failures)
+	}
+	if len(out.Exemplars) == 0 {
+		t.Fatal("no exemplars in forensics response")
+	}
+	if got := out.Exemplars[0]["runId"]; got != out.RunID {
+		t.Errorf("exemplar runId = %v, want %v", got, out.RunID)
+	}
+
+	// Same request without forensics: fields stay absent from the JSON.
+	delete(req, "forensics")
+	var raw map[string]json.RawMessage
+	postJSON(t, srv.URL+"/api/v1/reliability", req, &raw)
+	if _, ok := raw["breakdown"]; ok {
+		t.Error("breakdown present without forensics opt-in")
+	}
+	if _, ok := raw["exemplars"]; ok {
+		t.Error("exemplars present without forensics opt-in")
+	}
+}
+
+// TestReliabilityMaxExemplarsValidation rejects out-of-range caps.
+func TestReliabilityMaxExemplarsValidation(t *testing.T) {
+	srv := httptest.NewServer(New(Options{Logf: quietLogf}).Handler())
+	defer srv.Close()
+	resp := postJSON(t, srv.URL+"/api/v1/reliability",
+		map[string]any{"scheme": "None", "maxExemplars": 1000}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPerformancePhases: the performance response exposes the latency
+// attribution and the 3DP parity overhead.
+func TestPerformancePhases(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		RunID      string `json:"runId"`
+		ReadPhases struct {
+			CAS   float64 `json:"cas"`
+			Burst float64 `json:"burst"`
+		} `json:"readPhases"`
+		AvgParityOverhead float64 `json:"avgParityOverheadCycles"`
+	}
+	resp := postJSON(t, srv.URL+"/api/v1/performance",
+		map[string]any{"benchmark": "mcf", "protection": "3dp", "requests": 20000}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.RunID == "" {
+		t.Error("performance response missing runId")
+	}
+	if out.ReadPhases.CAS <= 0 || out.ReadPhases.Burst <= 0 {
+		t.Errorf("phase averages not populated: %+v", out.ReadPhases)
+	}
+	if out.AvgParityOverhead <= 0 {
+		t.Errorf("3DP run reported no parity overhead")
+	}
+}

@@ -1,0 +1,147 @@
+package ecc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/parity"
+	"repro/internal/stack"
+)
+
+// codes extracts the reason codes from a chain.
+func codes(rs []Reason) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Code
+	}
+	return out
+}
+
+func hasCode(rs []Reason, code string) bool {
+	for _, r := range rs {
+		if r.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExplainParityCollision(t *testing.T) {
+	p := NewParity(cfg(), parity.ThreeDP)
+	// Two whole-bank faults in the same die defeat 3DP: every cell of each
+	// bank is blocked in dim2 (same die) by the other bank, in dim1/dim3 by
+	// its own sibling cells.
+	live := []fault.Fault{
+		mk(fault.Bank, 0, 0, 0, 0),
+		mk(fault.Bank, 0, 1, 0, 0),
+	}
+	if !p.Uncorrectable(live) {
+		t.Fatal("two same-die bank faults should defeat 3DP")
+	}
+	rs := Explain(p, live)
+	if len(rs) == 0 {
+		t.Fatal("empty reason chain")
+	}
+	for _, dim := range []string{"parity-dim1-collision", "parity-dim2-collision", "parity-dim3-collision"} {
+		if !hasCode(rs, dim) {
+			t.Errorf("reason chain missing %s: %v", dim, codes(rs))
+		}
+	}
+	// Blame must reference both faults somewhere in the details.
+	all := ""
+	for _, r := range rs {
+		all += r.Detail + "\n"
+	}
+	if !strings.Contains(all, "fault #0") || !strings.Contains(all, "fault #1") {
+		t.Errorf("details do not name both faults:\n%s", all)
+	}
+}
+
+func TestExplainParityCorrectableIsEmpty(t *testing.T) {
+	p := NewParity(cfg(), parity.ThreeDP)
+	live := one(mk(fault.Bank, 0, 0, 0, 0))
+	if p.Uncorrectable(live) {
+		t.Fatal("single bank fault should be 3DP-correctable")
+	}
+	if rs := p.Explain(live); len(rs) != 0 {
+		t.Fatalf("correctable set produced reasons: %v", codes(rs))
+	}
+}
+
+func TestExplainSymbolBudget(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.SameBank)
+	live := one(mk(fault.Row, 0, 0, 10, 0))
+	if !s.Uncorrectable(live) {
+		t.Fatal("row fault should defeat the Same-Bank symbol code")
+	}
+	rs := Explain(s, live)
+	if !hasCode(rs, ReasonSymbolBudget) {
+		t.Fatalf("want %s, got %v", ReasonSymbolBudget, codes(rs))
+	}
+}
+
+func TestExplainSymbolPair(t *testing.T) {
+	s := NewSymbol8(cfg(), stack.SameBank)
+	// Two word faults on the same line: 8+8 symbols > 4 budget.
+	live := []fault.Fault{
+		mk(fault.Bit, 0, 0, 10, 5),
+		mk(fault.Word, 0, 0, 10, 128),
+	}
+	rs := s.Explain(live)
+	if !hasCode(rs, ReasonSymbolPair) && !hasCode(rs, ReasonSymbolBudget) {
+		t.Fatalf("want a symbol reason, got %v", codes(rs))
+	}
+}
+
+func TestExplainBCH(t *testing.T) {
+	b := NewBCH6EC7ED(cfg())
+	live := one(mk(fault.Word, 0, 0, 10, 128))
+	if !b.Uncorrectable(live) {
+		t.Fatal("word fault (64 bits) should defeat BCH-6EC7ED")
+	}
+	if rs := Explain(b, live); !hasCode(rs, ReasonBCHBudget) {
+		t.Fatalf("want %s, got %v", ReasonBCHBudget, codes(rs))
+	}
+}
+
+func TestExplainNoProtection(t *testing.T) {
+	if rs := Explain(NoProtection{}, one(mk(fault.Bit, 0, 0, 0, 0))); !hasCode(rs, ReasonNoProtection) {
+		t.Fatalf("want %s, got %v", ReasonNoProtection, codes(rs))
+	}
+}
+
+func TestExplainRAID5RewritesCodes(t *testing.T) {
+	r := NewRAID5(cfg())
+	// Two die-spanning faults defeat single-parity RAID-5.
+	live := []fault.Fault{
+		mk(fault.Bank, 0, 0, 0, 0),
+		mk(fault.Bank, 1, 0, 0, 0),
+	}
+	if !r.Uncorrectable(live) {
+		t.Fatal("two-die faults should defeat RAID-5")
+	}
+	rs := Explain(r, live)
+	for _, reason := range rs {
+		if strings.HasPrefix(reason.Code, "symbol-") {
+			t.Fatalf("RAID-5 reason kept symbol code: %v", codes(rs))
+		}
+	}
+	if len(rs) == 0 {
+		t.Fatal("empty RAID-5 reason chain")
+	}
+}
+
+// TestExplainFallback pins the generic path for predicates without an
+// Explainer (2D-ECC).
+func TestExplainFallback(t *testing.T) {
+	e := NewTwoDECC(cfg())
+	live := one(mk(fault.Bank, 0, 0, 0, 0))
+	if !e.Uncorrectable(live) {
+		t.Skip("bank fault unexpectedly correctable under 2D-ECC")
+	}
+	rs := Explain(e, live)
+	if len(rs) != 1 || rs[0].Code != ReasonUncorrectable {
+		t.Fatalf("want generic fallback, got %v", codes(rs))
+	}
+}

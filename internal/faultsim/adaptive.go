@@ -79,6 +79,25 @@ func Merge(a, b Result) Result {
 	for k, v := range b.CauseCounts {
 		out.CauseCounts[k] += v
 	}
+	// Forensics merge only when at least one side carries it, so a merge of
+	// forensics-free results keeps nil fields (and DeepEqual-based golden
+	// comparisons intact).
+	if a.Breakdown != nil || b.Breakdown != nil {
+		out.Breakdown = make(map[string]int, len(a.Breakdown)+len(b.Breakdown))
+		for k, v := range a.Breakdown {
+			out.Breakdown[k] += v
+		}
+		for k, v := range b.Breakdown {
+			out.Breakdown[k] += v
+		}
+	}
+	if len(a.Exemplars)+len(b.Exemplars) > 0 {
+		out.Exemplars = make([]Forensic, 0, len(a.Exemplars)+len(b.Exemplars))
+		out.Exemplars = append(out.Exemplars, a.Exemplars...)
+		out.Exemplars = append(out.Exemplars, b.Exemplars...)
+	} else {
+		out.Exemplars = nil
+	}
 	return out
 }
 
@@ -144,9 +163,16 @@ func RunAdaptiveContext(ctx context.Context, opt AdaptiveOptions, pol Policy) Re
 			break
 		}
 	}
+	if len(total.Exemplars) > opt.MaxExemplars {
+		// Batches already arrive in batch order; within a batch the
+		// exemplars are (Worker, Trial)-sorted, so truncation keeps the
+		// earliest captures.
+		total.Exemplars = total.Exemplars[:opt.MaxExemplars]
+	}
 	if opt.Progress != nil {
 		opt.Progress(Progress{
 			Policy:       pol.name(),
+			RunID:        opt.RunID,
 			TrialsDone:   total.Trials,
 			TrialsTarget: opt.MaxTrials,
 			Failures:     total.Failures,

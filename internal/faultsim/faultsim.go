@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/fault"
+	"repro/internal/obs/trace"
 	"repro/internal/stack"
 	"repro/internal/tsv"
 )
@@ -89,11 +90,30 @@ type Options struct {
 	// produce bit-identical Results; this is a differential-testing and
 	// debugging escape hatch, not a tuning knob.
 	DisableIncremental bool
+	// RunID is the correlation key threaded into Progress snapshots,
+	// forensic exemplars, and trace events. Optional.
+	RunID string
+	// Forensics enables failure forensics: each uncorrectable trial is
+	// bucketed into Result.Breakdown by fault-mode combination and the
+	// first MaxExemplars failures are captured as replayable
+	// Result.Exemplars. Off by default — the capture path allocates, the
+	// plain trial loop does not.
+	Forensics bool
+	// MaxExemplars bounds the captured exemplars (default 8 when
+	// Forensics is set).
+	MaxExemplars int
+	// Trace, when non-nil, receives flight-recorder events (sampled trial
+	// spans, failure instants, run lifecycle). A nil recorder is fully
+	// disabled and costs one branch per trial.
+	Trace *trace.Recorder
 }
 
 // Progress is a point-in-time snapshot of a running Monte Carlo study.
 type Progress struct {
 	Policy string
+	// RunID echoes Options.RunID so progress lines carry the same
+	// correlation key as forensic exemplars and trace files.
+	RunID string
 	// TrialsDone counts trials completed so far out of TrialsTarget.
 	TrialsDone, TrialsTarget int
 	// Failures counts failing trials so far.
@@ -129,6 +149,9 @@ func (o Options) withDefaults() Options {
 	if max := runtime.GOMAXPROCS(0); o.Workers <= 0 || o.Workers > max {
 		o.Workers = max
 	}
+	if o.Forensics && o.MaxExemplars == 0 {
+		o.MaxExemplars = 8
+	}
 	return o
 }
 
@@ -146,6 +169,13 @@ type Result struct {
 	// CauseCounts tallies, per failing trial, the class of the fault whose
 	// arrival made the state uncorrectable — the proximate cause.
 	CauseCounts map[string]int
+	// Breakdown tallies failing trials by fault-mode combination (the
+	// modeKey of the live set at failure, e.g. "row+bank"). Nil unless
+	// Options.Forensics was set; the per-mode counts sum to Failures.
+	Breakdown map[string]int
+	// Exemplars holds the first MaxExemplars forensic records in
+	// deterministic (Worker, Trial) order. Nil unless Options.Forensics.
+	Exemplars []Forensic
 	// Partial reports that the run was cancelled before all requested
 	// trials completed; the statistics cover the completed trials only
 	// and remain unbiased (trials are independent).
@@ -218,6 +248,10 @@ type trialState struct {
 	// scrubs counts doScrub invocations across every trial run on this
 	// state; workers flush it into the run's progress counters.
 	scrubs int64
+	// tsvUnrepaired counts, within the current trial, TSV faults the
+	// swapper saw but could not repair (stand-by budget overflow) — a
+	// forensic signal. Plain int: it rides the zero-allocation loop.
+	tsvUnrepaired int
 }
 
 func newTrialState(cfg stack.Config, pol Policy, scrub float64, disableIncremental bool) *trialState {
@@ -260,6 +294,7 @@ func (ts *trialState) reset() {
 	ts.livePerm = ts.livePerm[:0]
 	ts.liveTrans = ts.liveTrans[:0]
 	ts.lastScrub = 0
+	ts.tsvUnrepaired = 0
 }
 
 // doScrub clears correctable transients and offers permanent faults to the
@@ -337,6 +372,7 @@ func (ts *trialState) run(faults []fault.Fault) (float64, fault.Class) {
 			if _, repaired := ts.swapper.Apply(f); repaired {
 				continue
 			}
+			ts.tsvUnrepaired++
 		}
 		if f.Persistence == fault.Permanent {
 			ts.livePerm = append(ts.livePerm, f)
@@ -362,6 +398,7 @@ func (ts *trialState) run(faults []fault.Fault) (float64, fault.Class) {
 // state reset is skipped. Observable statistics (verdict, failure time,
 // cause, scrub count) match run exactly.
 func (ts *trialState) runSingle(f fault.Fault) (float64, fault.Class) {
+	ts.tsvUnrepaired = 0
 	if int(f.Hours/ts.scrub) > 0 {
 		// run would scrub once before this arrival; on an empty state the
 		// scrub has no effect beyond its tally.
@@ -372,6 +409,7 @@ func (ts *trialState) runSingle(f fault.Fault) (float64, fault.Class) {
 		if _, repaired := ts.swapper.Apply(f); repaired {
 			return -1, 0
 		}
+		ts.tsvUnrepaired++
 	}
 	if ts.inc != nil {
 		ts.inc.Reset()
@@ -406,8 +444,13 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 		FailuresByYear: make([]int, years),
 		CauseCounts:    make(map[string]int),
 	}
+	if opt.Forensics {
+		res.Breakdown = make(map[string]int)
+	}
 	mRunsActive.Inc()
 	defer mRunsActive.Dec()
+	tr := opt.Trace
+	runStart := tr.Now()
 	// Live counters: workers flush local tallies here every
 	// cancelCheckInterval trials so the progress reporter and the global
 	// metrics see the run move without per-trial atomics.
@@ -416,6 +459,7 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 	snapshot := func(done bool) Progress {
 		return Progress{
 			Policy:       pol.name(),
+			RunID:        opt.RunID,
 			TrialsDone:   int(progTrials.Load()),
 			TrialsTarget: opt.Trials,
 			Failures:     int(progFailures.Load()),
@@ -470,6 +514,12 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 			failures := 0
 			byYear := make([]int, years)
 			causes := make(map[string]int)
+			var breakdown map[string]int
+			var exemplars []Forensic
+			if opt.Forensics {
+				breakdown = make(map[string]int)
+			}
+			traceOn := tr.Enabled()
 			var flushedDone, flushedFailures, flushedScrubs int64
 			flush := func() {
 				progTrials.Add(int64(done) - flushedDone)
@@ -496,10 +546,28 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 				}
 				var when float64
 				var cause fault.Class
+				sampled := traceOn && tr.ShouldSample(uint64(worker)<<32|uint64(t))
+				var spanStart float64
+				if sampled {
+					spanStart = tr.Now()
+				}
 				if len(fs) == 1 {
 					when, cause = ts.runSingle(fs[0])
 				} else {
 					when, cause = ts.run(fs)
+				}
+				if sampled {
+					ev := trace.Event{
+						Name: "trial", Cat: "faultsim", Phase: trace.PhaseComplete,
+						TS: spanStart, Dur: tr.Now() - spanStart, TID: int64(worker),
+					}
+					ev.Args[0] = trace.Arg{Key: "trial", Val: float64(t)}
+					ev.Args[1] = trace.Arg{Key: "faults", Val: float64(len(fs))}
+					if when >= 0 {
+						ev.Args[2] = trace.Arg{Key: "failed", Val: 1}
+					}
+					ev.Args[3] = trace.Arg{Key: "runId", Str: opt.RunID}
+					tr.Emit(ev)
 				}
 				if when >= 0 {
 					failures++
@@ -510,6 +578,31 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 					}
 					for i := y; i < years; i++ {
 						byYear[i]++
+					}
+					if traceOn {
+						ev := trace.Event{
+							Name: "uncorrectable", Cat: "faultsim", Phase: trace.PhaseInstant,
+							TS: tr.Now(), TID: int64(worker),
+						}
+						ev.Args[0] = trace.Arg{Key: "trial", Val: float64(t)}
+						ev.Args[1] = trace.Arg{Key: "hours", Val: when}
+						ev.Args[2] = trace.Arg{Key: "cause", Str: cause.String()}
+						ev.Args[3] = trace.Arg{Key: "runId", Str: opt.RunID}
+						tr.Emit(ev)
+					}
+					if opt.Forensics {
+						// The live set at failure: the single drawn fault on
+						// the fast path, otherwise the trial state's live
+						// permanent+transient faults.
+						live := fs
+						if len(fs) > 1 {
+							live = ts.liveFaults()
+						}
+						breakdown[modeKey(live)]++
+						if len(exemplars) < opt.MaxExemplars {
+							exemplars = append(exemplars,
+								captureForensic(opt, pol, ts, worker, t, live, when, cause))
+						}
 					}
 				}
 			}
@@ -522,6 +615,10 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 			for k, v := range causes {
 				res.CauseCounts[k] += v
 			}
+			for k, v := range breakdown {
+				res.Breakdown[k] += v
+			}
+			res.Exemplars = append(res.Exemplars, exemplars...)
 			mu.Unlock()
 		}(w, hi-lo)
 	}
@@ -531,6 +628,26 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 	if err := ctx.Err(); err != nil && res.Trials < opt.Trials {
 		res.Partial = true
 		res.Err = err
+	}
+	if len(res.Exemplars) > 0 {
+		// Workers each kept up to MaxExemplars; order deterministically and
+		// keep the global first K so the exemplar set is independent of
+		// goroutine scheduling.
+		sortExemplars(res.Exemplars)
+		if len(res.Exemplars) > opt.MaxExemplars {
+			res.Exemplars = res.Exemplars[:opt.MaxExemplars]
+		}
+	}
+	if tr.Enabled() {
+		ev := trace.Event{
+			Name: "run", Cat: "faultsim", Phase: trace.PhaseComplete,
+			TS: runStart, Dur: tr.Now() - runStart, TID: -1,
+		}
+		ev.Args[0] = trace.Arg{Key: "policy", Str: pol.name()}
+		ev.Args[1] = trace.Arg{Key: "trials", Val: float64(res.Trials)}
+		ev.Args[2] = trace.Arg{Key: "failures", Val: float64(res.Failures)}
+		ev.Args[3] = trace.Arg{Key: "runId", Str: opt.RunID}
+		tr.Emit(ev)
 	}
 	if opt.Progress != nil {
 		opt.Progress(snapshot(true))

@@ -92,6 +92,35 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// snapshot reads the per-bucket counts, total count, and sum coherently
+// with respect to concurrent Observe calls. Observe increments the bucket
+// before the total, so a torn read shows bucket-total > count; we retry
+// until the two agree (and the count is stable across the bucket sweep).
+// If the histogram never quiesces we derive the count from the bucket
+// total, preserving the exposition invariant that the cumulative +Inf
+// bucket equals _count. The sum is best-effort under concurrency.
+func (h *Histogram) snapshot() (buckets []int64, count int64, sum float64) {
+	buckets = make([]int64, len(h.counts))
+	for attempt := 0; attempt < 16; attempt++ {
+		c := h.count.Load()
+		s := h.Sum()
+		total := int64(0)
+		for i := range h.counts {
+			buckets[i] = h.counts[i].Load()
+			total += buckets[i]
+		}
+		if total == c && h.count.Load() == c {
+			return buckets, c, s
+		}
+	}
+	total := int64(0)
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+		total += buckets[i]
+	}
+	return buckets, total, h.Sum()
+}
+
 // metric is one registered instrument plus its exposition metadata.
 type metric struct {
 	name, help, typ string
@@ -184,7 +213,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Unlock()
 	var b strings.Builder
 	for _, m := range metrics {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.typ)
 		switch m.typ {
 		case "counter":
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
@@ -192,19 +221,27 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
 		case "histogram":
 			h := m.hist
+			buckets, count, sum := h.snapshot()
 			cum := int64(0)
 			for i, bound := range h.bounds {
-				cum += h.counts[i].Load()
+				cum += buckets[i]
 				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatBound(bound), cum)
 			}
-			cum += h.counts[len(h.bounds)].Load()
+			cum += buckets[len(h.bounds)]
 			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
-			fmt.Fprintf(&b, "%s_sum %g\n", m.name, h.Sum())
-			fmt.Fprintf(&b, "%s_count %d\n", m.name, h.Count())
+			fmt.Fprintf(&b, "%s_sum %g\n", m.name, sum)
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, count)
 		}
 	}
 	io.WriteString(w, b.String())
 }
+
+// helpEscaper applies the text-exposition HELP escaping rules: backslash
+// and line feed must be escaped or a multi-line help string corrupts the
+// whole scrape.
+var helpEscaper = strings.NewReplacer("\\", `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
 
 // formatBound renders a bucket bound the way Prometheus clients expect.
 func formatBound(v float64) string {

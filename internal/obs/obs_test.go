@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -110,6 +111,70 @@ func TestConcurrentUpdates(t *testing.T) {
 	if h.Count() != 8000 || h.Sum() != 8000 {
 		t.Errorf("histogram count=%d sum=%g, want 8000/8000", h.Count(), h.Sum())
 	}
+}
+
+// TestHelpEscaping pins the exposition-format fix: a help string with a
+// newline or backslash must not inject raw lines into the scrape.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "line one\nline two with a back\\slash").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total line one\nline two with a back\\slash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	// Every line must be a comment, a sample, or empty — the raw "line two"
+	// continuation would be a parse error for a Prometheus scraper.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "esc_total") {
+			continue
+		}
+		t.Errorf("unparseable exposition line %q", line)
+	}
+}
+
+// TestHistogramScrapeCoherence pins the tear fix: under a concurrent
+// Observe storm, every rendered scrape must satisfy the format invariant
+// that the cumulative +Inf bucket equals _count.
+func TestHistogramScrapeCoherence(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tear_hist", "help", []float64{1, 2, 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := float64(w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(v)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		var inf, count int64
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, `tear_hist_bucket{le="+Inf"}`) {
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &inf)
+			}
+			if strings.HasPrefix(line, "tear_hist_count") {
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count)
+			}
+		}
+		if inf != count {
+			t.Fatalf("scrape %d tore: +Inf bucket %d != count %d", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestNewRunIDUnique(t *testing.T) {

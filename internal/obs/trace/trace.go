@@ -1,0 +1,344 @@
+// Package trace is a low-overhead flight recorder: a fixed-size ring of
+// span/event records with deterministic sampling, exportable as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) or as a
+// human-readable dump.
+//
+// The recorder is designed so that the disabled path costs one branch and
+// zero allocations: every method on *Recorder is nil-safe, Event is a plain
+// value type with inline argument slots (no per-event heap allocation), and
+// sampling decisions hash a caller-supplied ID instead of consuming RNG
+// state — so instrumenting a deterministic simulation does not perturb its
+// draw sequence.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase bytes follow the Chrome trace-event format.
+const (
+	// PhaseComplete is a span with a start timestamp and a duration ("X").
+	PhaseComplete = byte('X')
+	// PhaseInstant is a point event ("i").
+	PhaseInstant = byte('i')
+	// PhaseCounter is a counter sample ("C").
+	PhaseCounter = byte('C')
+)
+
+// maxArgs is the number of inline key/value argument slots per event.
+// Fixed-size so Event stays a flat value and Emit never allocates.
+const maxArgs = 4
+
+// Arg is one event argument. If Str is non-empty it is exported as a string
+// value; otherwise Val is exported as a number. A zero Key marks an unused
+// slot.
+type Arg struct {
+	Key string
+	Val float64
+	Str string
+}
+
+// Event is one flight-recorder record. TS and Dur are in the recorder's
+// clock unit (wall microseconds by default; engines may use simulated
+// cycles or hours — see Options.ClockUnit).
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	TS    float64
+	Dur   float64
+	TID   int64
+	Args  [maxArgs]Arg
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity is the ring size in events; once full, the oldest events
+	// are overwritten. Default 8192.
+	Capacity int
+	// SampleEvery keeps roughly 1-in-N of the IDs offered to ShouldSample.
+	// 0 or 1 samples everything.
+	SampleEvery int
+	// Seed salts the sampling hash so two recorders with the same
+	// SampleEvery pick independent subsets.
+	Seed int64
+	// RunID correlates this recorder with progress lines, forensic
+	// exemplars, and metrics.
+	RunID string
+	// ClockUnit names the unit of Event.TS/Dur in exported metadata,
+	// e.g. "us" (default), "cycles", "hours".
+	ClockUnit string
+}
+
+// Recorder is a bounded flight recorder. The zero *Recorder (nil) is a
+// valid disabled recorder: every method is a cheap no-op.
+type Recorder struct {
+	opt       Options
+	threshold uint64 // ShouldSample keeps hashes below this
+	start     time.Time
+
+	mu      sync.Mutex
+	buf     []Event
+	head    uint64 // total events accepted (monotonic)
+	started bool
+}
+
+// New builds a Recorder. Returns nil (a valid disabled recorder) if opt
+// requests a non-positive capacity explicitly below zero; otherwise applies
+// defaults.
+func New(opt Options) *Recorder {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 8192
+	}
+	if opt.SampleEvery < 1 {
+		opt.SampleEvery = 1
+	}
+	if opt.ClockUnit == "" {
+		opt.ClockUnit = "us"
+	}
+	r := &Recorder{
+		opt:   opt,
+		start: time.Now(),
+		buf:   make([]Event, opt.Capacity),
+	}
+	if opt.SampleEvery == 1 {
+		r.threshold = ^uint64(0)
+	} else {
+		r.threshold = ^uint64(0) / uint64(opt.SampleEvery)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder is live. Callers on hot paths guard
+// their instrumentation with this single branch.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// RunID returns the correlation key ("" when disabled).
+func (r *Recorder) RunID() string {
+	if r == nil {
+		return ""
+	}
+	return r.opt.RunID
+}
+
+// Now returns wall-clock microseconds since the recorder was created.
+func (r *Recorder) Now() float64 {
+	if r == nil {
+		return 0
+	}
+	return float64(time.Since(r.start)) / float64(time.Microsecond)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// ShouldSample deterministically decides whether the entity identified by
+// id (a trial index, request index, ...) is traced. The decision depends
+// only on (Seed, SampleEvery, id) — never on RNG state or time — so a rerun
+// with the same seed samples the same subset.
+func (r *Recorder) ShouldSample(id uint64) bool {
+	if r == nil {
+		return false
+	}
+	if r.opt.SampleEvery <= 1 {
+		return true
+	}
+	return mix64(id^uint64(r.opt.Seed)) < r.threshold
+}
+
+// Emit appends ev to the ring, overwriting the oldest event when full.
+// ev is copied by value; Emit performs no allocation.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.head%uint64(len(r.buf))] = ev
+	r.head++
+	r.mu.Unlock()
+}
+
+// Complete records a span with explicit start and duration. Convenience
+// wrapper for cold paths; hot paths build an Event value and call Emit.
+func (r *Recorder) Complete(name, cat string, tid int64, ts, dur float64, args ...Arg) {
+	if r == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, Phase: PhaseComplete, TS: ts, Dur: dur, TID: tid}
+	for i := 0; i < len(args) && i < maxArgs; i++ {
+		ev.Args[i] = args[i]
+	}
+	r.Emit(ev)
+}
+
+// Instant records a point event.
+func (r *Recorder) Instant(name, cat string, tid int64, ts float64, args ...Arg) {
+	if r == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: ts, TID: tid}
+	for i := 0; i < len(args) && i < maxArgs; i++ {
+		ev.Args[i] = args[i]
+	}
+	r.Emit(ev)
+}
+
+// Len returns the number of events currently held (≤ Capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.head < uint64(len(r.buf)) {
+		return int(r.head)
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many events have been overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.head <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.head - uint64(len(r.buf))
+}
+
+// Snapshot returns the retained events oldest-first plus the overwritten
+// count. The returned slice is a copy.
+func (r *Recorder) Snapshot() (events []Event, dropped uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.head <= n {
+		events = append(events, r.buf[:r.head]...)
+		return events, 0
+	}
+	oldest := r.head % n
+	events = make([]Event, 0, n)
+	events = append(events, r.buf[oldest:]...)
+	events = append(events, r.buf[:oldest]...)
+	return events, r.head - n
+}
+
+// chromeEvent mirrors one entry of the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format, the variant Perfetto
+// and chrome://tracing both accept with trailing metadata.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders the retained events as Chrome trace-event JSON
+// (JSON-object format with a traceEvents array). Timestamps are exported
+// as-is; the clock unit is recorded in otherData.clockUnit.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events, dropped := r.Snapshot()
+	doc := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(events)),
+		OtherData:   map[string]string{},
+	}
+	if r != nil {
+		doc.OtherData["runId"] = r.opt.RunID
+		doc.OtherData["clockUnit"] = r.opt.ClockUnit
+		doc.OtherData["dropped"] = fmt.Sprintf("%d", dropped)
+		doc.OtherData["sampleEvery"] = fmt.Sprintf("%d", r.opt.SampleEvery)
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   string(rune(ev.Phase)),
+			TS:   ev.TS,
+			PID:  1,
+			TID:  ev.TID,
+		}
+		if ev.Phase == PhaseComplete {
+			dur := ev.Dur
+			ce.Dur = &dur
+		}
+		for _, a := range ev.Args {
+			if a.Key == "" {
+				continue
+			}
+			if ce.Args == nil {
+				ce.Args = map[string]any{}
+			}
+			if a.Str != "" {
+				ce.Args[a.Key] = a.Str
+			} else {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteText renders the retained events as a human-readable dump,
+// oldest-first, one event per line.
+func (r *Recorder) WriteText(w io.Writer) error {
+	events, dropped := r.Snapshot()
+	if r != nil {
+		if _, err := fmt.Fprintf(w, "# trace run=%s events=%d dropped=%d clock=%s\n",
+			r.opt.RunID, len(events), dropped, r.opt.ClockUnit); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if _, err := fmt.Fprintf(w, "%12.3f %c tid=%-3d %s/%s", ev.TS, ev.Phase, ev.TID, ev.Cat, ev.Name); err != nil {
+			return err
+		}
+		if ev.Phase == PhaseComplete {
+			if _, err := fmt.Fprintf(w, " dur=%.3f", ev.Dur); err != nil {
+				return err
+			}
+		}
+		for _, a := range ev.Args {
+			if a.Key == "" {
+				continue
+			}
+			if a.Str != "" {
+				fmt.Fprintf(w, " %s=%s", a.Key, a.Str)
+			} else {
+				fmt.Fprintf(w, " %s=%g", a.Key, a.Val)
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

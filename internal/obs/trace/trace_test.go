@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := New(Options{Capacity: 8})
+	for i := 0; i < 20; i++ {
+		r.Emit(Event{Name: "ev", Phase: PhaseInstant, TS: float64(i)})
+	}
+	events, dropped := r.Snapshot()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	if dropped != 12 {
+		t.Fatalf("dropped = %d, want 12", dropped)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Fatalf("Dropped() = %d, want 12", got)
+	}
+	// Oldest-first: the survivors are TS 12..19.
+	for i, ev := range events {
+		if want := float64(12 + i); ev.TS != want {
+			t.Fatalf("events[%d].TS = %g, want %g", i, ev.TS, want)
+		}
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", r.Len())
+	}
+}
+
+func TestSnapshotBeforeWrap(t *testing.T) {
+	r := New(Options{Capacity: 16})
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Name: "ev", TS: float64(i)})
+	}
+	events, dropped := r.Snapshot()
+	if len(events) != 5 || dropped != 0 {
+		t.Fatalf("got %d events dropped=%d, want 5/0", len(events), dropped)
+	}
+	for i, ev := range events {
+		if ev.TS != float64(i) {
+			t.Fatalf("events[%d].TS = %g, want %d", i, ev.TS, i)
+		}
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	const n = 100000
+	a := New(Options{SampleEvery: 16, Seed: 42})
+	b := New(Options{SampleEvery: 16, Seed: 42})
+	kept := 0
+	for id := uint64(0); id < n; id++ {
+		sa, sb := a.ShouldSample(id), b.ShouldSample(id)
+		if sa != sb {
+			t.Fatalf("sampling not deterministic at id=%d: %v vs %v", id, sa, sb)
+		}
+		if sa {
+			kept++
+		}
+	}
+	// ~1/16 of n, with generous tolerance for hash variance.
+	want := n / 16
+	if kept < want/2 || kept > want*2 {
+		t.Fatalf("kept %d of %d ids with SampleEvery=16, want about %d", kept, n, want)
+	}
+	// A different seed picks a different subset.
+	c := New(Options{SampleEvery: 16, Seed: 43})
+	same := 0
+	for id := uint64(0); id < 4096; id++ {
+		if a.ShouldSample(id) == c.ShouldSample(id) {
+			same++
+		}
+	}
+	if same == 4096 {
+		t.Fatal("seed 42 and 43 sampled identical subsets")
+	}
+}
+
+func TestSampleEveryOneKeepsAll(t *testing.T) {
+	r := New(Options{})
+	for id := uint64(0); id < 1000; id++ {
+		if !r.ShouldSample(id) {
+			t.Fatalf("SampleEvery=1 rejected id %d", id)
+		}
+	}
+}
+
+// TestChromeTraceSchema validates the export against the Chrome trace-event
+// JSON-object format: a traceEvents array whose entries carry name/ph/ts/
+// pid/tid, with dur present on complete ("X") events. This is the shape
+// Perfetto's JSON importer requires.
+func TestChromeTraceSchema(t *testing.T) {
+	r := New(Options{Capacity: 32, RunID: "r-test-1", ClockUnit: "cycles"})
+	r.Complete("read", "perfsim", 3, 100, 25,
+		Arg{Key: "queue", Val: 4}, Arg{Key: "bench", Str: "mcf"})
+	r.Instant("failure", "faultsim", 0, 200, Arg{Key: "trial", Val: 17})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents has %d entries, want 2", len(doc.TraceEvents))
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("traceEvents[%d] missing required key %q: %v", i, key, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		if ph != "X" && ph != "i" {
+			t.Fatalf("traceEvents[%d].ph = %q, want X or i", i, ph)
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event %d missing numeric dur: %v", i, ev)
+			}
+		}
+	}
+	span := doc.TraceEvents[0]
+	args, ok := span["args"].(map[string]any)
+	if !ok {
+		t.Fatalf("span args missing: %v", span)
+	}
+	if args["queue"] != 4.0 || args["bench"] != "mcf" {
+		t.Fatalf("span args wrong: %v", args)
+	}
+	if doc.OtherData["runId"] != "r-test-1" || doc.OtherData["clockUnit"] != "cycles" {
+		t.Fatalf("otherData wrong: %v", doc.OtherData)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New(Options{Capacity: 8, RunID: "r-txt-1"})
+	r.Complete("trial", "faultsim", 2, 1.5, 0.25, Arg{Key: "worker", Val: 2})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"run=r-txt-1", "faultsim/trial", "dur=0.250", "worker=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilRecorderNoAlloc pins the disabled path: every method on a nil
+// *Recorder must be a zero-allocation no-op, because the faultsim trial
+// loop calls into it unconditionally guarded only by Enabled().
+func TestNilRecorderNoAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Enabled() {
+			t.Fatal("nil recorder reports enabled")
+		}
+		r.Emit(Event{Name: "x"})
+		_ = r.ShouldSample(7)
+		_ = r.Now()
+		_ = r.RunID()
+		_ = r.Len()
+		_ = r.Dropped()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestEmitNoAlloc(t *testing.T) {
+	r := New(Options{Capacity: 64})
+	ev := Event{Name: "trial", Cat: "faultsim", Phase: PhaseInstant, TID: 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.TS++
+		r.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestNilRecorderExports(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-recorder export invalid JSON: %v", err)
+	}
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

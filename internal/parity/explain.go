@@ -1,0 +1,83 @@
+package parity
+
+import "repro/internal/fault"
+
+// SurvivorBlame attributes the loss of one fault that survives correction
+// peeling: for each enabled parity dimension, which faults (by index into
+// the slice passed to Explain) contribute blocked cells to that dimension's
+// reconstruction groups. A fault can blame itself — a multi-cell footprint
+// places several faulty cells into one group.
+type SurvivorBlame struct {
+	// Index is the survivor's position in the regions slice.
+	Index int
+	// Blockers maps each enabled dimension to the indices of live faults
+	// whose cells collide with the survivor's reconstruction groups in
+	// that dimension. Every enabled dimension of a survivor has at least
+	// one blocker (otherwise the fault would have been peeled).
+	Blockers map[Dim][]int
+}
+
+// Explain replays the Uncorrectable peeling fixpoint while tracking
+// original fault indices and returns per-survivor blame. It returns nil
+// when the set is correctable. The result is deterministic for a given
+// input order.
+func (an *Analyzer) Explain(regions []fault.Region) []SurvivorBlame {
+	if len(regions) == 0 {
+		return nil
+	}
+	live := append([]fault.Region(nil), regions...)
+	idx := make([]int, len(regions))
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		progressed := false
+		for i := 0; i < len(live); i++ {
+			if !an.lost(live[i], live) {
+				live = append(live[:i], live[i+1:]...)
+				idx = append(idx[:i], idx[i+1:]...)
+				progressed = true
+				i--
+			}
+		}
+		if !progressed {
+			break
+		}
+		if len(live) == 0 {
+			break
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	out := make([]SurvivorBlame, 0, len(live))
+	for i, a := range live {
+		blame := SurvivorBlame{Index: idx[i], Blockers: make(map[Dim][]int, len(an.dimList))}
+		for _, d := range an.dimList {
+			for j, b := range live {
+				if b.Stack != a.Stack {
+					continue
+				}
+				if len(an.blockedPieces(d, a, b)) > 0 {
+					blame.Blockers[d] = append(blame.Blockers[d], idx[j])
+				}
+			}
+		}
+		out = append(out, blame)
+	}
+	return out
+}
+
+// String names a single dimension for reason-chain codes.
+func (d Dim) String() string {
+	switch d {
+	case Dim1:
+		return "dim1"
+	case Dim2:
+		return "dim2"
+	case Dim3:
+		return "dim3"
+	default:
+		return "dim?"
+	}
+}

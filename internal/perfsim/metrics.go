@@ -19,4 +19,24 @@ var (
 	mReadLatency = obs.Default().Histogram("citadel_perfsim_read_latency_cycles",
 		"End-to-end demand-read latency in memory-bus cycles.",
 		[]float64{10, 15, 20, 30, 45, 60, 90, 120, 180, 240, 360, 480, 720, 960})
+	// Per-phase latency attribution (see Phases). Phase magnitudes are much
+	// smaller than end-to-end latency, so the buckets start at single cycles.
+	mPhaseQueue = obs.Default().Histogram("citadel_perfsim_read_queue_wait_cycles",
+		"Demand-read cycles spent waiting for busy banks (conflicts plus exposed write traffic).",
+		phaseBounds)
+	mPhaseActivate = obs.Default().Histogram("citadel_perfsim_read_activate_cycles",
+		"Demand-read cycles spent on row activation (tRP+tRCD on row-buffer misses).",
+		phaseBounds)
+	mPhaseBus = obs.Default().Histogram("citadel_perfsim_read_bus_wait_cycles",
+		"Demand-read cycles spent waiting for the channel data bus.",
+		phaseBounds)
+	mPhaseBurst = obs.Default().Histogram("citadel_perfsim_read_burst_cycles",
+		"Demand-read cycles spent on data transfer bursts.",
+		phaseBounds)
+	mParityOverhead = obs.Default().Histogram("citadel_perfsim_parity_overhead_cycles",
+		"Background cycles per writeback spent on Dimension-1 parity maintenance (RBW + parity traffic).",
+		[]float64{5, 10, 20, 40, 80, 160, 320, 640})
 )
+
+// phaseBounds buckets the per-phase cycle counts.
+var phaseBounds = []float64{1, 2, 4, 8, 15, 30, 60, 120, 240, 480}

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/power"
 	"repro/internal/stack"
 	"repro/internal/workload"
@@ -91,6 +92,13 @@ type Config struct {
 	// through a private cursor rewound to the start of the trace, so one
 	// Config can drive sequential or concurrent runs safely.
 	Trace *workload.TraceSource
+	// Tracer, when non-nil, records sampled per-request spans (timestamps
+	// in memory-bus cycles) into the flight recorder. Sampling hashes the
+	// demand-read index, so it never perturbs the RNG draw sequence.
+	Tracer *trace.Recorder
+	// RunID correlates progress snapshots, traces, and metrics with one
+	// logical run.
+	RunID string
 	// Progress, when non-nil, receives a snapshot of the run roughly
 	// every ProgressInterval plus one final snapshot (Done set) when the
 	// run ends. The simulator is single-threaded, so calls never overlap.
@@ -101,6 +109,9 @@ type Config struct {
 
 // Progress is a point-in-time snapshot of a running simulation.
 type Progress struct {
+	// RunID echoes Config.RunID so interleaved progress lines from
+	// concurrent runs can be told apart.
+	RunID string
 	// RequestsDone counts requests served so far out of RequestsTarget.
 	RequestsDone, RequestsTarget int
 	// Reads counts demand reads served so far.
@@ -135,6 +146,47 @@ func DefaultConfig() Config {
 	}
 }
 
+// Phases attributes demand-read latency to its contributors, all in
+// memory-bus cycles, summed across the slices of each access:
+//
+//   - Queue: waiting for a busy bank (bank conflicts, plus the exposed
+//     fraction of background write traffic).
+//   - Activate: row-activation work on row-buffer misses (tRP + tRCD).
+//   - CAS: column access (tCAS), paid by every slice.
+//   - Bus: waiting for the channel data bus (slice serialization on the
+//     striped layouts, cross-request contention otherwise).
+//   - Burst: the data transfer itself.
+//
+// Queue and Bus are pure contention; Activate is the row-locality cost;
+// CAS+Burst is the unavoidable service floor.
+type Phases struct {
+	Queue    float64 `json:"queue"`
+	Activate float64 `json:"activate"`
+	CAS      float64 `json:"cas"`
+	Bus      float64 `json:"bus"`
+	Burst    float64 `json:"burst"`
+}
+
+// add accumulates o into p.
+func (p *Phases) add(o Phases) {
+	p.Queue += o.Queue
+	p.Activate += o.Activate
+	p.CAS += o.CAS
+	p.Bus += o.Bus
+	p.Burst += o.Burst
+}
+
+// scale returns p scaled by f (e.g. 1/reads for per-read averages).
+func (p Phases) scale(f float64) Phases {
+	return Phases{
+		Queue:    p.Queue * f,
+		Activate: p.Activate * f,
+		CAS:      p.CAS * f,
+		Bus:      p.Bus * f,
+		Burst:    p.Burst * f,
+	}
+}
+
 // Stats reports the outcome of one simulation.
 type Stats struct {
 	// Cycles is the execution time in memory-bus cycles.
@@ -149,6 +201,20 @@ type Stats struct {
 	// end-to-end latency in memory cycles.
 	Reads          uint64
 	ReadLatencySum float64
+	// ReadPhases attributes the demand-read latency to its contributors
+	// (summed over all reads; divide by Reads for per-read averages).
+	// Slices of one access proceed in parallel and each accrues its own
+	// wait, so the phase sums do not compose to ReadLatencySum — under
+	// wide striping the queue sum can exceed the critical-path latency.
+	// Only Same-Bank (single slice) composes exactly.
+	ReadPhases Phases
+	// ParityUpdates counts writebacks that touched memory for Dimension-1
+	// parity maintenance; ParityOverheadSum accumulates the background
+	// cycles those updates occupied (read-before-write plus the parity
+	// line accesses). Posted writes hide this from the core, but it
+	// consumes bank/bus bandwidth and leaks into read queueing.
+	ParityUpdates     uint64
+	ParityOverheadSum float64
 	// Power tallies DRAM operations for the power model.
 	Power power.Counts
 	// RequestsDone counts the requests actually simulated; fewer than
@@ -176,6 +242,23 @@ func (s Stats) AvgReadLatency() float64 {
 	return s.ReadLatencySum / float64(s.Reads)
 }
 
+// AvgReadPhases returns the per-read average of each latency phase.
+func (s Stats) AvgReadPhases() Phases {
+	if s.Reads == 0 {
+		return Phases{}
+	}
+	return s.ReadPhases.scale(1 / float64(s.Reads))
+}
+
+// AvgParityOverhead returns the mean background cycles per parity-touching
+// writeback.
+func (s Stats) AvgParityOverhead() float64 {
+	if s.ParityUpdates == 0 {
+		return 0
+	}
+	return s.ParityOverheadSum / float64(s.ParityUpdates)
+}
+
 // RowHitRate returns the measured row-buffer hit rate.
 func (s Stats) RowHitRate() float64 {
 	total := s.RowHits + s.RowMisses
@@ -200,6 +283,11 @@ type sim struct {
 
 	stats Stats
 	rng   *rand.Rand
+
+	// acc is the per-access phase scratch: serve zeroes it before each
+	// access it wants attributed (demand reads for ReadPhases, the RBW and
+	// parity sections for parity occupancy), accessSlices fills it.
+	acc Phases
 }
 
 // Run simulates the profile under the configuration; it cannot be
@@ -254,6 +342,7 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) Stats {
 	lastProgress := start
 	snapshot := func(done bool) Progress {
 		return Progress{
+			RunID:          cfg.RunID,
 			RequestsDone:   s.stats.RequestsDone,
 			RequestsTarget: cfg.Requests,
 			Reads:          s.stats.Reads,
@@ -388,7 +477,10 @@ func (s *sim) accessSlices(lineIdx int64, at float64, write, background bool) fl
 			svc = float64(t.TRP + t.TRCD + t.TCAS)
 			s.bankRow[bankID] = sl.Coord.Row
 			s.stats.Power.Activates++
+			s.acc.Activate += float64(t.TRP + t.TRCD)
 		}
+		s.acc.Queue += start - at
+		s.acc.CAS += float64(t.TCAS)
 		if write {
 			svc += float64(t.TWTR)
 			s.stats.Power.WriteBytes += uint64(sl.Bytes)
@@ -405,6 +497,8 @@ func (s *sim) accessSlices(lineIdx int64, at float64, write, background bool) fl
 		} else if s.chanFree[chID] > xfer {
 			xfer = s.chanFree[chID]
 		}
+		s.acc.Bus += xfer - (start + svc)
+		s.acc.Burst += burst
 		done := xfer + burst
 		if background {
 			s.bankFreeW[bankID] = done
@@ -436,11 +530,18 @@ func (s *sim) serve(req workload.Request) {
 	lineIdx := s.lineIndex(req.LineAddr)
 	if req.Write {
 		finish := issue
+		var overhead float64
 		if cfg.Overhead.RBWOnWriteback {
 			// Read-before-write to compute the parity delta (row hit: the
-			// write that follows opens the same row).
+			// write that follows opens the same row). Overhead counts the
+			// occupancy (activate + CAS + burst), not the queue wait behind
+			// a busy bank — wait time is backlog, not parity work, and under
+			// saturation it would swamp the signal.
+			s.acc = Phases{}
 			finish = s.accessSlices(lineIdx, finish, false, true)
+			overhead = s.acc.Activate + s.acc.CAS + s.acc.Burst
 		}
+		s.acc = Phases{}
 		finish = s.accessSlices(lineIdx, finish, true, true)
 		if cfg.Overhead.RBWOnWriteback {
 			// Dimension-1 parity update. Parity lines live in the parity
@@ -452,6 +553,7 @@ func (s *sim) serve(req workload.Request) {
 			}
 			if s.rng.Float64() < missRate {
 				parityLine := s.parityLine(lineIdx)
+				s.acc = Phases{}
 				if cfg.Overhead.ParityCaching {
 					// Fetch the parity line into the LLC; its eventual
 					// writeback coalesces many updates and is amortized
@@ -462,15 +564,44 @@ func (s *sim) serve(req workload.Request) {
 					finish = s.accessSlices(parityLine, finish, false, true)
 					s.accessSlices(parityLine, finish, true, true)
 				}
+				overhead += s.acc.Activate + s.acc.CAS + s.acc.Burst
 			}
+			// Overhead is the extra background occupancy this writeback
+			// spent on parity maintenance: RBW plus the parity-line
+			// traffic. Posted, so the core never waits — but the bank and
+			// bus time is real.
+			s.stats.ParityUpdates++
+			s.stats.ParityOverheadSum += overhead
+			mParityOverhead.Observe(overhead)
 		}
 		// Writebacks are posted: the core does not stall.
 		return
 	}
+	s.acc = Phases{}
 	finish := s.accessSlices(lineIdx, issue, false, false)
 	s.stats.Reads++
 	s.stats.ReadLatencySum += finish - issue
+	s.stats.ReadPhases.add(s.acc)
 	mReadLatency.Observe(finish - issue)
+	mPhaseQueue.Observe(s.acc.Queue)
+	mPhaseActivate.Observe(s.acc.Activate)
+	mPhaseBus.Observe(s.acc.Bus)
+	mPhaseBurst.Observe(s.acc.Burst)
+	if s.cfg.Tracer.Enabled() && s.cfg.Tracer.ShouldSample(s.stats.Reads) {
+		ev := trace.Event{
+			Name:  "read",
+			Cat:   "perfsim",
+			Phase: trace.PhaseComplete,
+			TS:    issue,
+			Dur:   finish - issue,
+			TID:   int64(req.Core),
+		}
+		ev.Args[0] = trace.Arg{Key: "queue", Val: s.acc.Queue}
+		ev.Args[1] = trace.Arg{Key: "activate", Val: s.acc.Activate}
+		ev.Args[2] = trace.Arg{Key: "bus", Val: s.acc.Bus}
+		ev.Args[3] = trace.Arg{Key: "burst", Val: s.acc.Burst}
+		s.cfg.Tracer.Emit(ev)
+	}
 	// Reads block the core; memory-level parallelism and out-of-order
 	// execution overlap the service latency and part of the queueing delay
 	// across the outstanding misses.

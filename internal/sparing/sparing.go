@@ -51,6 +51,13 @@ type DDS struct {
 	// sparedScratch backs Offer's sparedLive result so bank escalation does
 	// not allocate on the simulator's hot path.
 	sparedScratch []int
+
+	// Rejection tallies for failure forensics: how many Offer calls were
+	// refused because the footprint spans multiple banks, and how many
+	// because the stack's spare banks were exhausted. Plain ints — the
+	// counters ride the zero-allocation trial loop.
+	rejectFootprint int
+	rejectBudget    int
 }
 
 // New builds DDS state with the paper's default budgets.
@@ -76,6 +83,16 @@ func (d *DDS) Reset() {
 	for k, v := range d.brt {
 		d.brt[k] = v[:0]
 	}
+	d.rejectFootprint = 0
+	d.rejectBudget = 0
+}
+
+// RejectCounts returns how many Offer calls were rejected since the last
+// Reset, split into unsparable multi-bank footprints and spare-bank budget
+// exhaustion. A fault that stays live is re-offered at every subsequent
+// scrub, so these count rejection events, not distinct faults.
+func (d *DDS) RejectCounts() (footprint, budget int) {
+	return d.rejectFootprint, d.rejectBudget
 }
 
 // RowEntriesUsed returns the number of RRT entries consumed for the bank.
@@ -131,6 +148,7 @@ func (d *DDS) singleBank(r fault.Region) (die, bank int, ok bool) {
 func (d *DDS) Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedLive []int) {
 	die, bank, ok := d.singleBank(f.Region)
 	if !ok {
+		d.rejectFootprint++
 		return false, nil
 	}
 	key := bankKey{f.Region.Stack, die, bank}
@@ -145,6 +163,7 @@ func (d *DDS) Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedL
 	}
 	// Row budget exceeded: escalate to bank sparing.
 	if len(d.brt[key.Stack]) >= d.spareBanks {
+		d.rejectBudget++
 		return false, nil
 	}
 	d.brt[key.Stack] = append(d.brt[key.Stack], key)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/perfsim"
 	"repro/internal/power"
 	"repro/internal/workload"
@@ -67,10 +68,21 @@ type PerfOptions struct {
 	Progress func(PerfProgress)
 	// ProgressInterval throttles Progress callbacks (default 1s).
 	ProgressInterval time.Duration
+	// RunID correlates progress snapshots, traces, and metrics from one
+	// logical run.
+	RunID string
+	// Tracer, when non-nil, records sampled per-request spans (timestamps
+	// in memory-bus cycles) into the flight recorder.
+	Tracer *trace.Recorder
 }
 
 // PerfProgress is a point-in-time snapshot of a performance simulation.
 type PerfProgress = perfsim.Progress
+
+// ReadPhases attributes demand-read latency to its contributors: bank
+// queueing, row activation, column access, channel-bus contention, and
+// data transfer (see perfsim.Phases).
+type ReadPhases = perfsim.Phases
 
 // PerfResult reports execution time and active power for one benchmark.
 type PerfResult struct {
@@ -85,6 +97,13 @@ type PerfResult struct {
 	// AvgReadLatencyCycles is the mean demand-read latency in memory-bus
 	// cycles (queueing included).
 	AvgReadLatencyCycles float64
+	// ReadPhases attributes the average demand-read latency to its
+	// contributors (per-read averages, in memory-bus cycles).
+	ReadPhases ReadPhases
+	// AvgParityOverheadCycles is the mean background cycles each
+	// parity-touching writeback spent on Dimension-1 parity maintenance
+	// (zero without 3DP overheads).
+	AvgParityOverheadCycles float64
 	// RequestsDone counts the memory requests actually simulated; fewer
 	// than requested when the run was cancelled (see Partial).
 	RequestsDone int
@@ -114,6 +133,8 @@ func SimulatePerformanceContext(ctx context.Context, b Benchmark, opts PerfOptio
 	cfg.Seed = opts.Seed
 	cfg.Progress = opts.Progress
 	cfg.ProgressInterval = opts.ProgressInterval
+	cfg.RunID = opts.RunID
+	cfg.Tracer = opts.Tracer
 	hit := opts.ParityCacheHitRate
 	if hit == 0 {
 		hit = 0.85
@@ -127,14 +148,16 @@ func SimulatePerformanceContext(ctx context.Context, b Benchmark, opts PerfOptio
 	st := perfsim.RunContext(ctx, b, cfg)
 	pp := power.Default8Gb()
 	return PerfResult{
-		Benchmark:            b.Name,
-		Suite:                b.Suite,
-		Cycles:               st.Cycles,
-		ActivePowerWatts:     pp.ActivePower(st.Power),
-		RowHitRate:           st.RowHitRate(),
-		AvgReadLatencyCycles: st.AvgReadLatency(),
-		RequestsDone:         st.RequestsDone,
-		Partial:              st.Partial,
+		Benchmark:               b.Name,
+		Suite:                   b.Suite,
+		Cycles:                  st.Cycles,
+		ActivePowerWatts:        pp.ActivePower(st.Power),
+		RowHitRate:              st.RowHitRate(),
+		AvgReadLatencyCycles:    st.AvgReadLatency(),
+		ReadPhases:              st.AvgReadPhases(),
+		AvgParityOverheadCycles: st.AvgParityOverhead(),
+		RequestsDone:            st.RequestsDone,
+		Partial:                 st.Partial,
 	}
 }
 
