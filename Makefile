@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test race check bench bench.out bench-check bench-all clean
+.PHONY: all build vet staticcheck test race check stress-jobs bench bench.out bench-check bench-all clean
 
 all: check
 
@@ -34,6 +34,12 @@ test:
 # paths.
 race:
 	$(GO) test -race -short ./...
+
+# Orchestrator stress: 100 concurrent job submissions with random
+# cancellations under the race detector. Skipped by -short, so the
+# regular race pass doesn't pay for it; CI runs it as its own job.
+stress-jobs:
+	$(GO) test -race -run TestStressSubmitCancel -count=1 ./internal/jobs/
 
 check: build vet staticcheck test race
 

@@ -14,6 +14,9 @@
 //	GET  /api/v1/overhead
 //	POST /api/v1/reliability   {"scheme":"Citadel","trials":100000,"tsvFit":1430,"tsvSwap":true}
 //	POST /api/v1/performance   {"benchmark":"mcf","striping":"across-channels"}
+//	POST /api/v1/jobs          async campaign submission (only with -job-dir)
+//	GET  /api/v1/jobs{,/{id}}  job listing / status / result
+//	DELETE /api/v1/jobs/{id}   cancel a queued or running job
 //	GET  /metrics              Prometheus text metrics (engine + API counters)
 //	GET  /debug/trace          flight-recorder dump (only with -trace; ?format=text)
 //	GET  /debug/pprof/         live profiling (only with -pprof)
@@ -43,7 +46,9 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/jobs"
 	"repro/internal/obs/trace"
+	"repro/internal/store"
 )
 
 func main() {
@@ -56,6 +61,10 @@ func main() {
 		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 		traceCap      = flag.Int("trace", 0, "flight-recorder capacity in events; >0 mounts GET /debug/trace")
 		traceSample   = flag.Int("trace-sample", 64, "flight recorder: keep roughly 1-in-N spans")
+		jobDir        = flag.String("job-dir", "", "durable job store directory; enables the async /api/v1/jobs routes with checkpoint/resume")
+		jobWorkers    = flag.Int("job-workers", 1, "orchestrator worker goroutines executing campaigns")
+		jobQueue      = flag.Int("job-queue", 64, "bounded job queue depth (full queue answers 429)")
+		jobCacheMB    = flag.Int64("job-cache-mb", 256, "content-addressed result cache cap in MiB (LRU eviction past it)")
 	)
 	flag.Parse()
 
@@ -70,12 +79,37 @@ func main() {
 		})
 	}
 
+	// With -job-dir, campaigns can also run asynchronously: submissions are
+	// checkpointed to a content-addressed store, so a restarted server
+	// re-enqueues interrupted campaigns instead of losing them, and a
+	// resubmitted spec is answered from cache without re-simulating.
+	var orch *jobs.Orchestrator
+	if *jobDir != "" {
+		st, err := store.Open(*jobDir, store.Options{
+			MaxBytes: *jobCacheMB << 20,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("job store %s: %v", *jobDir, err)
+		}
+		orch = jobs.New(jobs.Options{
+			Store:      st,
+			Workers:    *jobWorkers,
+			QueueDepth: *jobQueue,
+			Logf:       log.Printf,
+		})
+		if recovered := orch.Recover(); recovered > 0 {
+			log.Printf("jobs: re-enqueued %d checkpointed campaigns from %s", recovered, *jobDir)
+		}
+	}
+
 	apiSrv := api.New(api.Options{
 		MaxConcurrent: *maxConcurrent,
 		QueueWait:     *queueWait,
 		SimTimeout:    *simTimeout,
 		EnablePprof:   *enablePprof,
 		Trace:         rec,
+		Jobs:          orch,
 	})
 
 	// baseCtx underlies every request context: cancelling it (when the
@@ -115,6 +149,15 @@ func main() {
 
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancelDrain()
+
+	if orch != nil {
+		// Stop the orchestrator first: running campaigns checkpoint their
+		// completed chunks and park as queued, so the next start resumes
+		// them instead of replaying from trial zero.
+		if err := orch.Close(drainCtx); err != nil {
+			log.Printf("shutdown: job orchestrator: %v", err)
+		}
+	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			// Graceful drain expired: cancel the simulations so handlers

@@ -8,11 +8,18 @@
 //	citadel-sim -scheme Citadel -target-failures 50 -max-trials 5000000
 //	citadel-sim -rates myrates.json -scheme 3DP
 //	citadel-sim -scheme 3DP -tsv-fit 1430 -forensics fail.json -trace run.json
+//	citadel-sim -scheme Citadel -trials 2000000 -job-dir ./campaigns
 //	citadel-sim -list
 //
 // -forensics writes a replayable failure-forensics report (feed it to
 // citadel-repro -forensics to verify). -trace writes the flight recorder
 // as Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+//
+// -job-dir runs the campaign durably: progress is checkpointed to a
+// content-addressed store every -checkpoint-trials trials, so a killed
+// run resumes where it stopped (-resume, on by default) and a repeated
+// identical run is answered from cache without simulating at all. The
+// store directory is shared with citadel-server -job-dir.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,8 +35,10 @@ import (
 
 	citadel "repro"
 	"repro/internal/fault"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/store"
 )
 
 // writeJSONFile writes v as indented JSON to path.
@@ -64,6 +74,10 @@ func main() {
 		exemplars  = flag.Int("exemplars", 8, "forensics: max exemplar records captured")
 		traceOut   = flag.String("trace", "", "write the flight recorder (Chrome trace-event JSON) to this file")
 		sample     = flag.Int("sample", 64, "trace: keep roughly 1-in-N trial spans")
+		jobDir     = flag.String("job-dir", "", "durable mode: checkpoint/resume the campaign via this store directory")
+		resume     = flag.Bool("resume", true, "durable mode: resume from an existing checkpoint (false restarts from trial zero)")
+		ckptTrials = flag.Int("checkpoint-trials", jobs.DefaultCheckpointTrials, "durable mode: trials per checkpoint chunk (part of the campaign identity)")
+		jobWorkers = flag.Int("workers", 0, "durable mode: engine worker goroutines (0 = GOMAXPROCS; part of the campaign identity)")
 	)
 	flag.Parse()
 
@@ -95,6 +109,30 @@ func main() {
 		}
 		rates = loaded
 	}
+	if *jobDir != "" {
+		if *targetFail > 0 || *forensics != "" || *traceOut != "" || *ratesPath != "" {
+			fmt.Fprintln(os.Stderr, "-job-dir is incompatible with -target-failures, -forensics, -trace and -rates")
+			os.Exit(2)
+		}
+		runDurable(durableRun{
+			dir:    *jobDir,
+			resume: *resume,
+			spec: jobs.ReliabilitySpec{
+				Scheme:           *schemeName,
+				Trials:           *trials,
+				TSVFIT:           *tsvFIT,
+				TSVSwap:          *tsvSwap,
+				LifetimeYears:    *years,
+				ScrubHours:       *scrub,
+				Seed:             *seed,
+				Workers:          *jobWorkers,
+				CheckpointTrials: *ckptTrials,
+			},
+			progressEvery: *progress,
+		})
+		return
+	}
+
 	opts := citadel.ReliabilityOptions{
 		Rates:              rates.WithTSV(*tsvFIT),
 		Trials:             *trials,
@@ -172,6 +210,115 @@ func main() {
 	}
 	fmt.Printf("%-6s %s\n", "year", "P(failure)")
 	for y := 1; y <= int(*years); y++ {
+		fmt.Printf("%-6d %.3e\n", y, res.ProbabilityByYear(y))
+	}
+}
+
+// durableRun carries the -job-dir mode configuration.
+type durableRun struct {
+	dir           string
+	resume        bool
+	spec          jobs.ReliabilitySpec
+	progressEvery time.Duration
+}
+
+// runDurable executes the campaign through the job orchestrator instead
+// of calling the engine directly: the run is chunked, each completed
+// chunk is checkpointed into the content-addressed store, a killed run
+// resumes from its checkpoint, and a repeated identical spec is served
+// from cache with zero new trials.
+func runDurable(cfg durableRun) {
+	logf := func(format string, args ...any) { log.Printf(format, args...) }
+	st, err := store.Open(cfg.dir, store.Options{Logf: logf})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "job store %s: %v\n", cfg.dir, err)
+		os.Exit(1)
+	}
+	spec := jobs.Spec{Kind: jobs.KindReliability, Reliability: &cfg.spec}
+	if !cfg.resume {
+		// Forget everything the store knows about this exact spec so the
+		// campaign restarts from trial zero.
+		if key, err := spec.Key(); err == nil {
+			st.DeleteJob(key)
+			st.DeleteResult(key)
+		}
+	}
+	orch := jobs.New(jobs.Options{Store: st, Workers: 1, QueueDepth: 1, Logf: logf})
+	job, err := orch.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch {
+	case job.Cached:
+		fmt.Fprintf(os.Stderr, "cache: campaign %s already complete in %s; zero new trials\n",
+			job.Key[:12], cfg.dir)
+	case job.Resumed:
+		fmt.Fprintf(os.Stderr, "resume: campaign %s continuing at chunk %d/%d (%d trials done)\n",
+			job.Key[:12], job.ChunksDone, job.TotalChunks, job.TrialsDone)
+	}
+
+	// Ctrl-C stops the orchestrator gracefully: completed chunks are
+	// already checkpointed, so the next run with the same -job-dir and
+	// spec picks up where this one stopped.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	if cfg.progressEvery > 0 {
+		ticker := time.NewTicker(cfg.progressEvery)
+		defer ticker.Stop()
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					if j, ok := orch.Status(job.ID); ok && j.State == jobs.StateRunning {
+						fmt.Fprintf(os.Stderr, "progress: job=%s chunks=%d/%d trials=%d/%d failures=%d\n",
+							j.ID, j.ChunksDone, j.TotalChunks, j.TrialsDone, j.TrialsTarget, j.Failures)
+					}
+				case <-watchDone:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	final, err := orch.Wait(ctx, job.ID)
+	if err != nil {
+		stopSig() // a second ^C kills immediately
+		closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if cerr := orch.Close(closeCtx); cerr != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint on interrupt: %v\n", cerr)
+		}
+		if j, ok := orch.Status(job.ID); ok {
+			fmt.Fprintf(os.Stderr, "interrupted: %d/%d chunks checkpointed (%d trials); rerun with -job-dir %s to resume\n",
+				j.ChunksDone, j.TotalChunks, j.TrialsDone, cfg.dir)
+		}
+		os.Exit(1)
+	}
+	closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	orch.Close(closeCtx)
+
+	if final.State != jobs.StateDone {
+		fmt.Fprintf(os.Stderr, "campaign %s %s: %s\n", final.ID, final.State, final.Error)
+		os.Exit(1)
+	}
+	var res citadel.Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "decoding campaign result: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	if res.Trials == 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("%-6s %s\n", "year", "P(failure)")
+	for y := 1; y <= int(cfg.spec.LifetimeYears); y++ {
 		fmt.Printf("%-6d %.3e\n", y, res.ProbabilityByYear(y))
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	citadel "repro"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 )
@@ -72,6 +73,12 @@ type Options struct {
 	// retained events are served at GET /debug/trace as Chrome trace-event
 	// JSON (?format=text for a line dump).
 	Trace *trace.Recorder
+	// Jobs, when non-nil, mounts the asynchronous campaign routes under
+	// /api/v1/jobs (see jobs.go). Job submission bypasses the
+	// MaxConcurrent semaphore — the orchestrator enforces its own worker
+	// and queue bounds — so a saturated synchronous pool never blocks an
+	// async submit.
+	Jobs *jobs.Orchestrator
 }
 
 // withDefaults fills zero fields.
@@ -132,6 +139,10 @@ func (s *Server) Drain() { s.draining.Store(true) }
 //	GET  /api/v1/overhead     Citadel storage-overhead accounting
 //	POST /api/v1/reliability  run a Monte Carlo study
 //	POST /api/v1/performance  run the timing/power model
+//	POST /api/v1/jobs         submit an async campaign (only with Options.Jobs)
+//	GET  /api/v1/jobs         list jobs (only with Options.Jobs)
+//	GET  /api/v1/jobs/{id}    job status/progress/result (only with Options.Jobs)
+//	DELETE /api/v1/jobs/{id}  cancel a job (only with Options.Jobs)
 //	GET  /metrics             Prometheus text metrics (engine + API)
 //	GET  /debug/trace         flight-recorder dump (only with Options.Trace)
 //	GET  /debug/pprof/...     live profiling (only with Options.EnablePprof)
@@ -144,6 +155,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/overhead", s.handleOverhead)
 	mux.HandleFunc("POST /api/v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /api/v1/performance", s.handlePerformance)
+	if s.opts.Jobs != nil {
+		mux.HandleFunc("POST /api/v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+		mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	}
 	mux.Handle("GET /metrics", obs.Default().Handler())
 	if s.opts.Trace.Enabled() {
 		mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)

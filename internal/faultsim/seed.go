@@ -11,8 +11,12 @@ package faultsim
 
 // Stream-index spaces. Worker streams are dense small integers; adaptive
 // batch streams start far above any plausible worker count so the two
-// spaces cannot overlap for the same base seed.
-const batchStreamBase uint64 = 1 << 40
+// spaces cannot overlap for the same base seed; checkpoint-chunk streams
+// of durable campaigns (internal/jobs) get a third disjoint space.
+const (
+	batchStreamBase uint64 = 1 << 40
+	chunkStreamBase uint64 = 1 << 41
+)
 
 // deriveSeed maps (base seed, stream index) to an RNG seed using the
 // splitmix64 finalizer (Steele, Lea & Flood, OOPSLA 2014). Equal inputs
@@ -26,4 +30,14 @@ func deriveSeed(base int64, stream uint64) int64 {
 	z *= 0x94d049bb133111eb
 	z ^= z >> 31
 	return int64(z)
+}
+
+// ChunkSeed derives the base seed of checkpoint chunk i of a durable
+// campaign (internal/jobs). Chunks are independent sub-runs merged with
+// Merge; giving each its own decorrelated stream makes a campaign's
+// result a pure function of (base seed, chunk layout, worker count), so
+// a resumed campaign reproduces an uninterrupted one bit for bit. The
+// chunk space is disjoint from worker and adaptive-batch streams.
+func ChunkSeed(base int64, chunk int) int64 {
+	return deriveSeed(base, chunkStreamBase+uint64(chunk))
 }

@@ -1,0 +1,907 @@
+// Package jobs is the in-process durable job orchestrator: long-running
+// simulation campaigns are submitted asynchronously, queued under a
+// bounded priority queue, executed by a fixed pool of worker goroutines
+// driving the existing context-aware engine APIs, and — for reliability
+// campaigns — periodically checkpointed into a content-addressed store
+// (internal/store) so a killed process resumes a campaign instead of
+// restarting it.
+//
+// Determinism model: a reliability campaign of T trials runs as
+// ceil(T/C) chunks of C = CheckpointTrials trials. Chunk i runs on seed
+// faultsim.ChunkSeed(base, i) with the spec's pinned worker count, and
+// the chunk results fold left-to-right through faultsim.Merge. The
+// merged result is therefore a pure function of the normalized spec, so
+// resuming from any checkpoint reproduces the uninterrupted campaign
+// bit for bit, and the normalized spec's SHA-256 addresses the result in
+// the store: a repeated identical request is served from cache with zero
+// new trials.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	citadel "repro"
+	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/store"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submit when the bounded queue is at
+	// capacity. The HTTP layer maps it to 429 with a Retry-After hint
+	// derived from the queue depth.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects submits after Close.
+	ErrClosed = errors.New("jobs: orchestrator closed")
+	// ErrNotFound marks an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished rejects cancelling a job that already reached a
+	// terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states: queued → running → done | failed | cancelled. An
+// interrupted job (orchestrator shutdown mid-run) returns to queued; its
+// checkpoint re-enqueues it in the next process.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Options configures an Orchestrator.
+type Options struct {
+	// Store persists checkpoints and caches results. Nil runs volatile:
+	// no dedup cache, no resume.
+	Store *store.Store
+	// Workers is the number of campaign-executing goroutines (default 1;
+	// each campaign parallelizes internally via the engine's own worker
+	// pool, so more orchestrator workers mainly help mixed small jobs).
+	Workers int
+	// QueueDepth bounds the jobs waiting to run (default 64). Submits
+	// past it fail with ErrQueueFull.
+	QueueDepth int
+	// Logf sinks orchestrator logs (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Job is a caller-facing snapshot of one campaign.
+type Job struct {
+	ID   string `json:"id"`
+	Key  string `json:"key"`
+	Spec Spec   `json:"spec"`
+
+	State State `json:"state"`
+	// Cached marks a job served entirely from the content-addressed
+	// store: no simulation ran.
+	Cached bool `json:"cached,omitempty"`
+	// Resumed marks a job that continued from a persisted checkpoint
+	// instead of starting at chunk zero.
+	Resumed bool `json:"resumed,omitempty"`
+
+	// ChunksDone/TotalChunks report checkpoint progress (reliability
+	// campaigns; zero for other kinds).
+	ChunksDone  int `json:"chunksDone,omitempty"`
+	TotalChunks int `json:"totalChunks,omitempty"`
+	// TrialsDone/TrialsTarget/Failures mirror the engine's live progress
+	// snapshot for reliability campaigns.
+	TrialsDone   int `json:"trialsDone,omitempty"`
+	TrialsTarget int `json:"trialsTarget,omitempty"`
+	Failures     int `json:"failures,omitempty"`
+
+	// Result holds the JSON payload once State is done: a
+	// citadel.Result for reliability, a PerformanceResult for
+	// performance, an experiments.Report for experiment jobs.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error carries the failure reason when State is failed.
+	Error string `json:"error,omitempty"`
+
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// PerformanceResult is the payload of a performance job: the baseline
+// run (same benchmark, default layout, no protection) plus the requested
+// configuration, so clients can derive normalized ratios.
+type PerformanceResult struct {
+	Base citadel.PerfResult `json:"base"`
+	Run  citadel.PerfResult `json:"run"`
+}
+
+// checkpoint is the persisted form of an unfinished job, stored under
+// its spec key. Result carries the merge of all completed chunks; a
+// chunk interrupted mid-run is discarded (its partial statistics would
+// break determinism) and re-runs on resume.
+type checkpoint struct {
+	Version     int             `json:"version"`
+	Key         string          `json:"key"`
+	Spec        Spec            `json:"spec"`
+	ChunksDone  int             `json:"chunksDone"`
+	TotalChunks int             `json:"totalChunks"`
+	Result      *citadel.Result `json:"result,omitempty"`
+	UpdatedAt   time.Time       `json:"updatedAt"`
+}
+
+const checkpointVersion = 1
+
+// job is the internal mutable record behind a Job snapshot.
+type job struct {
+	id   string
+	key  string
+	spec Spec // normalized
+	seq  int64
+
+	mu         sync.Mutex
+	state      State
+	cached     bool
+	resumed    bool
+	chunksDone int
+	totalChunk int
+	trialsDone int
+	trialsTgt  int
+	failures   int
+	payload    json.RawMessage
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	userCancel bool
+	cancelRun  context.CancelFunc
+	done       chan struct{}
+}
+
+func (j *job) snapshot() *Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &Job{
+		ID: j.id, Key: j.key, Spec: j.spec,
+		State: j.state, Cached: j.cached, Resumed: j.resumed,
+		ChunksDone: j.chunksDone, TotalChunks: j.totalChunk,
+		TrialsDone: j.trialsDone, TrialsTarget: j.trialsTgt, Failures: j.failures,
+		Result: j.payload, Error: j.errMsg,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Orchestrator runs campaigns from a bounded priority queue on a fixed
+// worker pool, checkpointing and caching through an optional store.
+type Orchestrator struct {
+	opts Options
+	st   *store.Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*job          // pending, popped by (priority desc, seq asc)
+	jobs   map[string]*job // by ID, every job ever submitted this process
+	byKey  map[string]*job // active (queued/running) job per content key
+	seq    int64
+	closed bool
+
+	idPrefix string
+	idSeq    atomic.Uint64
+}
+
+// New builds an Orchestrator and starts its workers.
+func New(opts Options) *Orchestrator {
+	opts = opts.withDefaults()
+	o := &Orchestrator{
+		opts:     opts,
+		st:       opts.Store,
+		jobs:     make(map[string]*job),
+		byKey:    make(map[string]*job),
+		idPrefix: newIDPrefix(),
+	}
+	o.cond = sync.NewCond(&o.mu)
+	o.ctx, o.cancel = context.WithCancel(context.Background())
+	for i := 0; i < opts.Workers; i++ {
+		o.wg.Add(1)
+		go o.worker()
+	}
+	return o
+}
+
+// newIDPrefix gives each orchestrator instance a random ID prefix so job
+// IDs from different processes (or restarts) don't collide in logs.
+func newIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+	}
+	return fmt.Sprintf("%08x", binary.LittleEndian.Uint32(b[:]))
+}
+
+func (o *Orchestrator) newJobID() string {
+	return fmt.Sprintf("j-%s-%d", o.idPrefix, o.idSeq.Add(1))
+}
+
+// Workers returns the worker-pool size.
+func (o *Orchestrator) Workers() int { return o.opts.Workers }
+
+// QueueCap returns the queue bound.
+func (o *Orchestrator) QueueCap() int { return o.opts.QueueDepth }
+
+// QueueDepth returns the number of jobs waiting to run.
+func (o *Orchestrator) QueueDepth() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.queue)
+}
+
+// Submit validates, deduplicates, and enqueues a campaign.
+//
+//   - A result already in the store completes the job immediately
+//     (Cached, no simulation).
+//   - An active job with the same content key is returned as-is
+//     (coalescing): both callers observe the same job ID.
+//   - A persisted checkpoint with the same key resumes from its last
+//     chunk (Resumed).
+//
+// The queue bound applies only to genuinely new work; full queues
+// report ErrQueueFull.
+func (o *Orchestrator) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	norm := spec.Normalize()
+	key, err := norm.Key()
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil, ErrClosed
+	}
+	if j := o.byKey[key]; j != nil {
+		// Coalesce: same campaign already queued or running.
+		return j.snapshot(), nil
+	}
+	if snap := o.tryCacheLocked(key, norm); snap != nil {
+		return snap, nil
+	}
+	cp := o.loadCheckpoint(key)
+	if len(o.queue) >= o.opts.QueueDepth {
+		mShed.Inc()
+		return nil, ErrQueueFull
+	}
+	j := o.enqueueLocked(key, norm, cp)
+	return j.snapshot(), nil
+}
+
+// tryCacheLocked completes a submit from the content-addressed store.
+// A stored payload that is not valid JSON is treated as corruption:
+// deleted, logged, and reported as a miss.
+func (o *Orchestrator) tryCacheLocked(key string, norm Spec) *Job {
+	if o.st == nil {
+		return nil
+	}
+	data, ok := o.st.GetResult(key)
+	if !ok {
+		return nil
+	}
+	if !json.Valid(data) {
+		o.opts.Logf("jobs: corrupted cached result %s; discarding", key)
+		o.st.DeleteResult(key)
+		return nil
+	}
+	now := time.Now()
+	j := &job{
+		id: o.newJobID(), key: key, spec: norm,
+		state: StateDone, cached: true, payload: data,
+		created: now, started: now, finished: now,
+		done: make(chan struct{}),
+	}
+	close(j.done)
+	o.jobs[j.id] = j
+	mSubmitted.Inc()
+	mCacheHits.Inc()
+	mCompleted.Inc()
+	o.opts.Logf("jobs: job=%s key=%.12s kind=%s served from cache", j.id, key, norm.Kind)
+	return j.snapshot()
+}
+
+// loadCheckpoint fetches and decodes the persisted checkpoint for
+// key, tolerating corruption: a bad checkpoint is deleted with a warning
+// and the campaign restarts from scratch.
+func (o *Orchestrator) loadCheckpoint(key string) *checkpoint {
+	if o.st == nil {
+		return nil
+	}
+	data, ok := o.st.GetJob(key)
+	if !ok {
+		return nil
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil || cp.Key != key || cp.ChunksDone < 0 ||
+		(cp.ChunksDone > 0 && cp.Result == nil) {
+		o.opts.Logf("jobs: corrupted checkpoint %.12s (err=%v); restarting campaign from scratch", key, err)
+		o.st.DeleteJob(key)
+		return nil
+	}
+	return &cp
+}
+
+// enqueueLocked creates the job record, persists its initial checkpoint
+// (so a crash before the first chunk still recovers the submission), and
+// wakes a worker.
+func (o *Orchestrator) enqueueLocked(key string, norm Spec, cp *checkpoint) *job {
+	o.seq++
+	j := &job{
+		id: o.newJobID(), key: key, spec: norm, seq: o.seq,
+		state: StateQueued, created: time.Now(),
+		done: make(chan struct{}),
+	}
+	if cp != nil {
+		j.resumed = cp.ChunksDone > 0
+		j.chunksDone = cp.ChunksDone
+		if cp.Result != nil {
+			j.trialsDone = cp.Result.Trials
+			j.failures = cp.Result.Failures
+		}
+		if j.resumed {
+			mResumed.Inc()
+		}
+	} else {
+		o.persistCheckpoint(j, nil)
+	}
+	if r := norm.Reliability; r != nil {
+		j.totalChunk = totalChunks(r)
+		j.trialsTgt = r.Trials
+	}
+	o.jobs[j.id] = j
+	o.byKey[key] = j
+	o.queue = append(o.queue, j)
+	mSubmitted.Inc()
+	mQueueDepth.Set(int64(len(o.queue)))
+	o.opts.Logf("jobs: job=%s key=%.12s kind=%s priority=%d queued (resumedChunks=%d)",
+		j.id, key, norm.Kind, norm.Priority, j.chunksDone)
+	o.cond.Signal()
+	return j
+}
+
+// totalChunks returns the chunk count of a normalized reliability spec.
+func totalChunks(r *ReliabilitySpec) int {
+	return (r.Trials + r.CheckpointTrials - 1) / r.CheckpointTrials
+}
+
+// Recover re-enqueues every readable checkpoint in the store: the
+// server calls it once at startup so campaigns interrupted by a crash or
+// SIGTERM continue. Corrupted checkpoints are skipped with a warning.
+// It returns the number of jobs re-enqueued.
+func (o *Orchestrator) Recover() int {
+	if o.st == nil {
+		return 0
+	}
+	listed := o.st.ListJobs()
+	n := 0
+	for key, data := range listed {
+		var cp checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil || cp.Key != key || cp.ChunksDone < 0 ||
+			(cp.ChunksDone > 0 && cp.Result == nil) {
+			o.opts.Logf("jobs: recover: skipping corrupted checkpoint %.12s (err=%v)", key, err)
+			o.st.DeleteJob(key)
+			continue
+		}
+		if err := cp.Spec.Validate(); err != nil {
+			o.opts.Logf("jobs: recover: skipping checkpoint %.12s with invalid spec: %v", key, err)
+			o.st.DeleteJob(key)
+			continue
+		}
+		o.mu.Lock()
+		if o.closed || o.byKey[key] != nil {
+			o.mu.Unlock()
+			continue
+		}
+		// Recovered jobs bypass the queue bound: they were admitted by a
+		// previous process and rejecting them now would drop durable work.
+		cpc := cp
+		o.enqueueLocked(key, cp.Spec.Normalize(), &cpc)
+		o.mu.Unlock()
+		n++
+	}
+	if n > 0 {
+		o.opts.Logf("jobs: recovered %d checkpointed campaign(s)", n)
+	}
+	return n
+}
+
+// Status returns a snapshot of the job, if known to this process.
+func (o *Orchestrator) Status(id string) (*Job, bool) {
+	o.mu.Lock()
+	j := o.jobs[id]
+	o.mu.Unlock()
+	if j == nil {
+		return nil, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns snapshots of every job known to this process, in
+// submission order.
+func (o *Orchestrator) List() []*Job {
+	o.mu.Lock()
+	all := make([]*job, 0, len(o.jobs))
+	for _, j := range o.jobs {
+		all = append(all, j)
+	}
+	o.mu.Unlock()
+	out := make([]*Job, 0, len(all))
+	for _, j := range all {
+		out = append(out, j.snapshot())
+	}
+	sortJobs(out)
+	return out
+}
+
+func sortJobs(js []*Job) {
+	for i := 1; i < len(js); i++ {
+		for k := i; k > 0 && js[k].Created.Before(js[k-1].Created); k-- {
+			js[k], js[k-1] = js[k-1], js[k]
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (o *Orchestrator) Wait(ctx context.Context, id string) (*Job, error) {
+	o.mu.Lock()
+	j := o.jobs[id]
+	o.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return j.snapshot(), ctx.Err()
+	}
+}
+
+// Cancel stops a job. A queued job is removed immediately; a running
+// job's context is cancelled and the worker marks it cancelled at the
+// next cancellation point. A user-cancelled job's checkpoint is deleted:
+// cancellation is a statement that the work is unwanted, so it must not
+// resurrect on restart.
+func (o *Orchestrator) Cancel(id string) error {
+	o.mu.Lock()
+	j := o.jobs[id]
+	if j == nil {
+		o.mu.Unlock()
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		o.mu.Unlock()
+		return ErrFinished
+	case j.state == StateQueued:
+		j.state = StateCancelled
+		j.userCancel = true
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		o.dropQueuedLocked(j)
+		delete(o.byKey, j.key)
+		o.mu.Unlock()
+		if o.st != nil {
+			o.st.DeleteJob(j.key)
+		}
+		mCancelled.Inc()
+		o.opts.Logf("jobs: job=%s cancelled while queued", j.id)
+		return nil
+	default: // running
+		j.userCancel = true
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		o.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	}
+}
+
+// dropQueuedLocked removes j from the pending queue.
+func (o *Orchestrator) dropQueuedLocked(j *job) {
+	for i, q := range o.queue {
+		if q == j {
+			o.queue = append(o.queue[:i], o.queue[i+1:]...)
+			break
+		}
+	}
+	mQueueDepth.Set(int64(len(o.queue)))
+}
+
+// Close stops the orchestrator: no new submits, running campaigns are
+// cancelled (their latest complete chunk is already checkpointed, so a
+// restarted process resumes them), and workers are joined. It returns
+// ctx's error if the workers do not drain in time.
+func (o *Orchestrator) Close(ctx context.Context) error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	o.cancel()
+	done := make(chan struct{})
+	go func() {
+		o.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// next blocks until a job is available or the orchestrator closes.
+func (o *Orchestrator) next() *job {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		if o.closed {
+			return nil
+		}
+		if j := o.popLocked(); j != nil {
+			return j
+		}
+		o.cond.Wait()
+	}
+}
+
+// popLocked removes the best pending job: highest priority, FIFO within
+// a priority.
+func (o *Orchestrator) popLocked() *job {
+	best := -1
+	for i, j := range o.queue {
+		if best < 0 ||
+			j.spec.Priority > o.queue[best].spec.Priority ||
+			(j.spec.Priority == o.queue[best].spec.Priority && j.seq < o.queue[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	j := o.queue[best]
+	o.queue = append(o.queue[:best], o.queue[best+1:]...)
+	mQueueDepth.Set(int64(len(o.queue)))
+	return j
+}
+
+func (o *Orchestrator) worker() {
+	defer o.wg.Done()
+	for {
+		j := o.next()
+		if j == nil {
+			return
+		}
+		o.runJob(j)
+	}
+}
+
+// runJob executes one campaign to a terminal state (or back to queued on
+// orchestrator shutdown).
+func (o *Orchestrator) runJob(j *job) {
+	ctx, cancel := context.WithCancel(o.ctx)
+	defer cancel()
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled between pop and start.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.mu.Unlock()
+	mRunning.Inc()
+	defer mRunning.Dec()
+	o.opts.Logf("jobs: job=%s key=%.12s kind=%s start", j.id, j.key, j.spec.Kind)
+
+	var payload any
+	var interrupted bool
+	var runErr error
+	switch j.spec.Kind {
+	case KindReliability:
+		payload, interrupted, runErr = o.runReliability(ctx, j)
+	case KindPerformance:
+		payload, interrupted, runErr = o.runPerformance(ctx, j)
+	case KindExperiment:
+		payload, interrupted, runErr = o.runExperiment(ctx, j)
+	default:
+		runErr = fmt.Errorf("jobs: unknown kind %q", j.spec.Kind)
+	}
+
+	switch {
+	case interrupted:
+		o.finishInterrupted(j)
+	case runErr != nil:
+		o.finish(j, StateFailed, nil, runErr)
+	default:
+		data, err := json.Marshal(payload)
+		if err != nil {
+			o.finish(j, StateFailed, nil, fmt.Errorf("jobs: encoding result: %w", err))
+			return
+		}
+		if o.st != nil {
+			if err := o.st.PutResult(j.key, data); err != nil {
+				o.opts.Logf("jobs: job=%s caching result: %v", j.id, err)
+			}
+			o.st.DeleteJob(j.key)
+		}
+		o.finish(j, StateDone, data, nil)
+	}
+}
+
+// finish moves j to a terminal state.
+func (o *Orchestrator) finish(j *job, st State, payload json.RawMessage, err error) {
+	o.mu.Lock()
+	delete(o.byKey, j.key)
+	o.mu.Unlock()
+	j.mu.Lock()
+	j.state = st
+	j.payload = payload
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	close(j.done)
+	j.mu.Unlock()
+	switch st {
+	case StateDone:
+		mCompleted.Inc()
+	case StateFailed:
+		mFailed.Inc()
+	case StateCancelled:
+		mCancelled.Inc()
+	}
+	o.opts.Logf("jobs: job=%s key=%.12s %s%s", j.id, j.key, st, errSuffix(err))
+	// Failed campaigns should not resurrect on restart: their checkpoint
+	// would fail the same way again.
+	if st == StateFailed && o.st != nil {
+		o.st.DeleteJob(j.key)
+	}
+}
+
+func errSuffix(err error) string {
+	if err == nil {
+		return ""
+	}
+	return ": " + err.Error()
+}
+
+// finishInterrupted resolves a run cut short by cancellation: a
+// user-cancelled job becomes cancelled (checkpoint deleted); an
+// orchestrator shutdown returns the job to queued — its checkpoint stays
+// in the store and the next process resumes it.
+func (o *Orchestrator) finishInterrupted(j *job) {
+	j.mu.Lock()
+	user := j.userCancel
+	j.mu.Unlock()
+	if user {
+		if o.st != nil {
+			o.st.DeleteJob(j.key)
+		}
+		o.mu.Lock()
+		delete(o.byKey, j.key)
+		o.mu.Unlock()
+		j.mu.Lock()
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		mCancelled.Inc()
+		o.opts.Logf("jobs: job=%s key=%.12s cancelled", j.id, j.key)
+		return
+	}
+	// Shutdown: leave the checkpoint in place and the job formally
+	// pending; this process will not run it again (workers are exiting).
+	j.mu.Lock()
+	j.state = StateQueued
+	j.mu.Unlock()
+	o.opts.Logf("jobs: job=%s key=%.12s interrupted by shutdown (checkpointed, resumable)", j.id, j.key)
+}
+
+// persistCheckpoint writes j's checkpoint (total = merge of completed
+// chunks; nil before the first chunk) to the store.
+func (o *Orchestrator) persistCheckpoint(j *job, total *citadel.Result) {
+	if o.st == nil {
+		return
+	}
+	j.mu.Lock()
+	cp := checkpoint{
+		Version:     checkpointVersion,
+		Key:         j.key,
+		Spec:        j.spec,
+		ChunksDone:  j.chunksDone,
+		TotalChunks: j.totalChunk,
+		Result:      total,
+		UpdatedAt:   time.Now(),
+	}
+	j.mu.Unlock()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		o.opts.Logf("jobs: job=%s encoding checkpoint: %v", j.id, err)
+		return
+	}
+	if err := o.st.PutJob(j.key, data); err != nil {
+		o.opts.Logf("jobs: job=%s persisting checkpoint: %v", j.id, err)
+		return
+	}
+	mCheckpoints.Inc()
+}
+
+// runReliability executes a chunked, checkpointed Monte Carlo campaign.
+func (o *Orchestrator) runReliability(ctx context.Context, j *job) (any, bool, error) {
+	r := j.spec.Reliability
+	scheme, ok := schemeByName(r.Scheme)
+	if !ok {
+		return nil, false, fmt.Errorf("jobs: unknown scheme %q", r.Scheme)
+	}
+	chunks := totalChunks(r)
+	var total citadel.Result
+	j.mu.Lock()
+	start := j.chunksDone
+	j.totalChunk = chunks
+	j.trialsTgt = r.Trials
+	j.mu.Unlock()
+	if start > 0 {
+		cp := o.loadCheckpoint(j.key)
+		if cp == nil || cp.Result == nil || cp.ChunksDone != start {
+			// The checkpoint changed or vanished underneath us; restart
+			// the campaign rather than produce a wrong merge.
+			o.opts.Logf("jobs: job=%s checkpoint for %.12s unusable; restarting campaign", j.id, j.key)
+			start = 0
+			j.mu.Lock()
+			j.chunksDone = 0
+			j.trialsDone, j.failures = 0, 0
+			j.resumed = false
+			j.mu.Unlock()
+		} else {
+			total = *cp.Result
+		}
+	}
+	for i := start; i < chunks; i++ {
+		if ctx.Err() != nil {
+			return nil, true, nil
+		}
+		n := r.CheckpointTrials
+		if rem := r.Trials - i*r.CheckpointTrials; n > rem {
+			n = rem
+		}
+		baseTrials, baseFailures := total.Trials, total.Failures
+		opts := citadel.ReliabilityOptions{
+			Rates:              citadel.Table1Rates().WithTSV(r.TSVFIT),
+			Trials:             n,
+			LifetimeYears:      r.LifetimeYears,
+			ScrubIntervalHours: r.ScrubHours,
+			TSVSwap:            r.TSVSwap,
+			Seed:               faultsim.ChunkSeed(r.Seed, i),
+			Workers:            r.Workers,
+			RunID:              j.id,
+			Progress: func(p citadel.RunProgress) {
+				j.mu.Lock()
+				j.trialsDone = baseTrials + p.TrialsDone
+				j.failures = baseFailures + p.Failures
+				j.mu.Unlock()
+			},
+		}
+		res := citadel.SimulateReliabilityContext(ctx, opts, scheme)
+		if res.Partial {
+			// Mid-chunk interruption: discard the chunk (its statistics
+			// depend on where the cancel landed) and resume it whole.
+			return nil, true, nil
+		}
+		total = faultsim.Merge(total, res)
+		total.Policy = res.Policy
+		j.mu.Lock()
+		j.chunksDone = i + 1
+		j.trialsDone = total.Trials
+		j.failures = total.Failures
+		j.mu.Unlock()
+		o.persistCheckpoint(j, &total)
+	}
+	return total, false, nil
+}
+
+// runPerformance executes a base + configured timing/power pair.
+func (o *Orchestrator) runPerformance(ctx context.Context, j *job) (any, bool, error) {
+	p := j.spec.Performance
+	b, ok := citadel.BenchmarkByName(p.Benchmark)
+	if !ok {
+		return nil, false, fmt.Errorf("jobs: unknown benchmark %q", p.Benchmark)
+	}
+	var striping citadel.Striping
+	switch p.Striping {
+	case "same-bank":
+		striping = citadel.SameBank
+	case "across-banks":
+		striping = citadel.AcrossBanks
+	case "across-channels":
+		striping = citadel.AcrossChannels
+	default:
+		return nil, false, fmt.Errorf("jobs: unknown striping %q", p.Striping)
+	}
+	var prot citadel.Protection
+	switch p.Protection {
+	case "none":
+		prot = citadel.NoProtection
+	case "3dp":
+		prot = citadel.Protection3DP
+	case "3dp-no-cache":
+		prot = citadel.Protection3DPNoCache
+	default:
+		return nil, false, fmt.Errorf("jobs: unknown protection %q", p.Protection)
+	}
+	base := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{Requests: p.Requests, Seed: p.Seed})
+	if base.Partial {
+		return nil, true, nil
+	}
+	run := citadel.SimulatePerformanceContext(ctx, b, citadel.PerfOptions{
+		Striping: striping, Protection: prot, Requests: p.Requests, Seed: p.Seed, RunID: j.id,
+	})
+	if run.Partial {
+		return nil, true, nil
+	}
+	return PerformanceResult{Base: base, Run: run}, false, nil
+}
+
+// runExperiment regenerates one paper table/figure.
+func (o *Orchestrator) runExperiment(ctx context.Context, j *job) (any, bool, error) {
+	e := j.spec.Experiment
+	rep, err := experiments.RunContext(ctx, e.ID, experiments.Options{
+		Trials: e.Trials, Requests: e.Requests, Seed: e.Seed,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if rep.Partial {
+		return nil, true, nil
+	}
+	return rep, false, nil
+}

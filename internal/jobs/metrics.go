@@ -1,0 +1,30 @@
+package jobs
+
+import "repro/internal/obs"
+
+// Orchestrator metrics, exposed by cmd/citadel-server at GET /metrics.
+// Together with citadel_faultsim_trials_total they make the cache
+// observable: a cache-hit submit bumps citadel_jobs_cache_hits_total
+// while the engine trial counter stays flat — zero new trials.
+var (
+	mSubmitted = obs.Default().Counter("citadel_jobs_submitted_total",
+		"Jobs accepted by the orchestrator (including cache hits).")
+	mCompleted = obs.Default().Counter("citadel_jobs_completed_total",
+		"Jobs that reached the done state (including cache hits).")
+	mFailed = obs.Default().Counter("citadel_jobs_failed_total",
+		"Jobs that reached the failed state.")
+	mCancelled = obs.Default().Counter("citadel_jobs_cancelled_total",
+		"Jobs cancelled by request.")
+	mShed = obs.Default().Counter("citadel_jobs_shed_total",
+		"Job submissions rejected because the queue was full.")
+	mCacheHits = obs.Default().Counter("citadel_jobs_cache_hits_total",
+		"Job submissions served entirely from the content-addressed store.")
+	mCheckpoints = obs.Default().Counter("citadel_jobs_checkpoints_total",
+		"Checkpoints persisted across all campaigns.")
+	mResumed = obs.Default().Counter("citadel_jobs_resumed_total",
+		"Campaigns resumed from a persisted checkpoint.")
+	mQueueDepth = obs.Default().Gauge("citadel_jobs_queue_depth",
+		"Jobs currently waiting in the orchestrator queue.")
+	mRunning = obs.Default().Gauge("citadel_jobs_running",
+		"Jobs currently executing on orchestrator workers.")
+)

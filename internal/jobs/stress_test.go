@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressSubmitCancel hammers the orchestrator with concurrent
+// submissions and random cancellations. Run under the race detector via
+// `make stress-jobs`; skipped with -short.
+func TestStressSubmitCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	o, _ := newOrch(t, t.TempDir(), 4, 256)
+
+	const submits = 100
+	rng := rand.New(rand.NewSource(1))
+	cancelMask := make([]bool, submits)
+	for i := range cancelMask {
+		cancelMask[i] = rng.Intn(2) == 0
+	}
+
+	var wg sync.WaitGroup
+	ids := make([]string, submits)
+	for i := 0; i < submits; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds so every submission is distinct work (no
+			// coalescing), small enough that the whole batch completes.
+			j, err := o.Submit(Spec{Reliability: &ReliabilitySpec{
+				Scheme:           "Citadel",
+				Trials:           500,
+				CheckpointTrials: 250,
+				Workers:          1,
+				Seed:             int64(1000 + i),
+				TSVFIT:           1430,
+			}})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = j.ID
+			if cancelMask[i] {
+				// Racing cancel against queueing/running/finishing is the
+				// point: any of ok/ErrFinished is legal, panics are not.
+				if err := o.Cancel(j.ID); err != nil && err != ErrFinished {
+					t.Errorf("cancel %d: %v", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		j, err := o.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %d (%s): %v", i, id, err)
+		}
+		if !j.State.Terminal() {
+			t.Errorf("job %d (%s) ended non-terminal: %s", i, id, j.State)
+		}
+		if !cancelMask[i] && j.State != StateDone {
+			t.Errorf("uncancelled job %d (%s) = %s (%s), want done", i, id, j.State, j.Error)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quiet discards store warnings so corruption tests don't spam output.
+func quiet(string, ...any) {}
+
+func openTemp(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if opts.Logf == nil {
+		opts.Logf = quiet
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, dir
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	type spec struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	k1, err := Key(spec{A: 1, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(spec{A: 1, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("equal values hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 || !validKey(k1) {
+		t.Errorf("key %q is not 64-char hex", k1)
+	}
+	k3, err := Key(spec{A: 2, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Error("different values share a key")
+	}
+}
+
+func TestResultRoundtripAndReopen(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	key, _ := Key(map[string]int{"n": 1})
+	want := []byte(`{"ok":true}`)
+	if err := s.PutResult(key, want); err != nil {
+		t.Fatalf("PutResult: %v", err)
+	}
+	got, ok := s.GetResult(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("GetResult = %q, %v; want %q, true", got, ok, want)
+	}
+	if n := s.ResultCount(); n != 1 {
+		t.Errorf("ResultCount = %d, want 1", n)
+	}
+	if b := s.ResultBytes(); b != int64(len(want)) {
+		t.Errorf("ResultBytes = %d, want %d", b, len(want))
+	}
+
+	// A fresh Store over the same directory sees the same content.
+	s2, err := Open(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok = s2.GetResult(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("after reopen GetResult = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Cap fits two 40-byte artifacts but not three.
+	s, _ := openTemp(t, Options{MaxBytes: 100})
+	payload := []byte(strings.Repeat("x", 40))
+	if err := s.PutResult("aaa", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult("bbb", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Touch aaa so bbb becomes the LRU victim.
+	if _, ok := s.GetResult("aaa"); !ok {
+		t.Fatal("aaa missing before eviction")
+	}
+	if err := s.PutResult("ccc", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetResult("bbb"); ok {
+		t.Error("bbb survived eviction; want LRU victim")
+	}
+	if _, ok := s.GetResult("aaa"); !ok {
+		t.Error("aaa evicted despite recent access")
+	}
+	if _, ok := s.GetResult("ccc"); !ok {
+		t.Error("ccc (just inserted) evicted")
+	}
+	if b := s.ResultBytes(); b > 100 {
+		t.Errorf("ResultBytes = %d, want <= cap 100", b)
+	}
+}
+
+func TestOversizedResultRejected(t *testing.T) {
+	s, _ := openTemp(t, Options{MaxBytes: 10})
+	if err := s.PutResult("big", []byte(strings.Repeat("x", 11))); err == nil {
+		t.Error("oversized PutResult succeeded; want error")
+	}
+	if n := s.ResultCount(); n != 0 {
+		t.Errorf("ResultCount = %d after rejected put, want 0", n)
+	}
+}
+
+func TestCorruptedIndexRebuild(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if err := s.PutResult("aaa", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult("bbb", []byte("22")); err != nil {
+		t.Fatal(err)
+	}
+	idx := filepath.Join(dir, resultsDir, indexName)
+	if err := os.WriteFile(idx, []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatalf("reopen with corrupt index: %v", err)
+	}
+	if n := s2.ResultCount(); n != 2 {
+		t.Errorf("ResultCount after rebuild = %d, want 2", n)
+	}
+	if _, ok := s2.GetResult("bbb"); !ok {
+		t.Error("bbb lost after index rebuild")
+	}
+}
+
+func TestIndexReconciliation(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if err := s.PutResult("aaa", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Vanish aaa behind the index's back; drop an unindexed file in.
+	if err := os.Remove(filepath.Join(dir, resultsDir, "aaa"+jsonExt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, resultsDir, "orphan"+jsonExt), []byte("33"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetResult("aaa"); ok {
+		t.Error("vanished entry still served")
+	}
+	if _, ok := s2.GetResult("orphan"); !ok {
+		t.Error("unindexed file not adopted on open")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	for _, k := range []string{"", "../escape", "a/b", "a.b", strings.Repeat("x", 129)} {
+		if err := s.PutResult(k, []byte("x")); err == nil {
+			t.Errorf("PutResult(%q) succeeded; want error", k)
+		}
+		if _, ok := s.GetResult(k); ok {
+			t.Errorf("GetResult(%q) hit; want miss", k)
+		}
+		if err := s.PutJob(k, []byte("x")); err == nil {
+			t.Errorf("PutJob(%q) succeeded; want error", k)
+		}
+	}
+}
+
+func TestJobCheckpointRoundtrip(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if err := s.PutJob("job1", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetJob("job1")
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("GetJob = %q, %v", got, ok)
+	}
+	// Files ListJobs must skip: temp leftovers, invalid key stems,
+	// directories.
+	jdir := filepath.Join(dir, jobsDir)
+	if err := os.WriteFile(filepath.Join(jdir, ".tmp-123.json"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jdir, "bad key!.json"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(jdir, "sub.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	listed := s.ListJobs()
+	if len(listed) != 1 || string(listed["job1"]) != `{"v":1}` {
+		t.Fatalf("ListJobs = %v, want only job1", listed)
+	}
+	s.DeleteJob("job1")
+	if _, ok := s.GetJob("job1"); ok {
+		t.Error("job1 survived DeleteJob")
+	}
+}
+
+func TestDeleteResult(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if err := s.PutResult("aaa", []byte("123")); err != nil {
+		t.Fatal(err)
+	}
+	s.DeleteResult("aaa")
+	if _, ok := s.GetResult("aaa"); ok {
+		t.Error("aaa survived DeleteResult")
+	}
+	if n, b := s.ResultCount(), s.ResultBytes(); n != 0 || b != 0 {
+		t.Errorf("count=%d bytes=%d after delete, want 0/0", n, b)
+	}
+}
