@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test race check stress-jobs bench bench.out bench-check bench-all clean
+.PHONY: all build vet staticcheck test race check stress-jobs stress-cluster bench bench.out bench-check bench-all clean
 
 all: check
 
@@ -40,6 +40,13 @@ race:
 # regular race pass doesn't pay for it; CI runs it as its own job.
 stress-jobs:
 	$(GO) test -race -run TestStressSubmitCancel -count=1 ./internal/jobs/
+
+# Cluster chaos harness: a distributed campaign under the race detector
+# while workers are randomly SIGKILLed, heartbeats dropped, and every
+# chunk result delivered twice; the result must stay bit-identical to a
+# quiet local run. Skipped by -short; CI runs it as its own job.
+stress-cluster:
+	$(GO) test -race -run TestChaosCampaign -count=1 -v ./internal/cluster/
 
 check: build vet staticcheck test race
 

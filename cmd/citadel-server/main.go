@@ -17,6 +17,8 @@
 //	POST /api/v1/jobs          async campaign submission (only with -job-dir)
 //	GET  /api/v1/jobs{,/{id}}  job listing / status / result
 //	DELETE /api/v1/jobs/{id}   cancel a queued or running job
+//	POST /api/v1/cluster/...   worker lease/heartbeat/complete (only with -cluster)
+//	GET  /api/v1/cluster/workers  worker fleet view (only with -cluster)
 //	GET  /metrics              Prometheus text metrics (engine + API counters)
 //	GET  /debug/trace          flight-recorder dump (only with -trace; ?format=text)
 //	GET  /debug/pprof/         live profiling (only with -pprof)
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
@@ -65,6 +68,9 @@ func main() {
 		jobWorkers    = flag.Int("job-workers", 1, "orchestrator worker goroutines executing campaigns")
 		jobQueue      = flag.Int("job-queue", 64, "bounded job queue depth (full queue answers 429)")
 		jobCacheMB    = flag.Int64("job-cache-mb", 256, "content-addressed result cache cap in MiB (LRU eviction past it)")
+		clusterMode   = flag.Bool("cluster", false, "distribute reliability campaigns to citadel-worker processes (requires -job-dir)")
+		leaseTTL      = flag.Duration("lease-ttl", 15*time.Second, "cluster: chunk lease TTL (workers heartbeat at TTL/3)")
+		noWorkerGrace = flag.Duration("no-worker-grace", 10*time.Second, "cluster: how long a campaign waits with zero live workers before running locally")
 	)
 	flag.Parse()
 
@@ -83,6 +89,21 @@ func main() {
 	// checkpointed to a content-addressed store, so a restarted server
 	// re-enqueues interrupted campaigns instead of losing them, and a
 	// resubmitted spec is answered from cache without re-simulating.
+	// With -cluster, reliability campaigns are sharded into chunk leases
+	// and pulled by citadel-worker processes over the same HTTP API; a
+	// campaign with no live workers falls back to local execution.
+	var coord *cluster.Coordinator
+	if *clusterMode {
+		if *jobDir == "" {
+			log.Fatal("-cluster requires -job-dir (campaign chunks checkpoint through the job store)")
+		}
+		coord = cluster.New(cluster.Options{
+			LeaseTTL:      *leaseTTL,
+			NoWorkerGrace: *noWorkerGrace,
+			Logf:          log.Printf,
+		})
+	}
+
 	var orch *jobs.Orchestrator
 	if *jobDir != "" {
 		st, err := store.Open(*jobDir, store.Options{
@@ -92,12 +113,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("job store %s: %v", *jobDir, err)
 		}
-		orch = jobs.New(jobs.Options{
+		opts := jobs.Options{
 			Store:      st,
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,
 			Logf:       log.Printf,
-		})
+		}
+		if coord != nil {
+			opts.ChunkExec = coord
+		}
+		orch = jobs.New(opts)
 		if recovered := orch.Recover(); recovered > 0 {
 			log.Printf("jobs: re-enqueued %d checkpointed campaigns from %s", recovered, *jobDir)
 		}
@@ -110,6 +135,7 @@ func main() {
 		EnablePprof:   *enablePprof,
 		Trace:         rec,
 		Jobs:          orch,
+		Cluster:       coord,
 	})
 
 	// baseCtx underlies every request context: cancelling it (when the
@@ -153,10 +179,14 @@ func main() {
 	if orch != nil {
 		// Stop the orchestrator first: running campaigns checkpoint their
 		// completed chunks and park as queued, so the next start resumes
-		// them instead of replaying from trial zero.
+		// them instead of replaying from trial zero. Distributed campaigns
+		// see their context cancel, which aborts their leases cleanly.
 		if err := orch.Close(drainCtx); err != nil {
 			log.Printf("shutdown: job orchestrator: %v", err)
 		}
+	}
+	if coord != nil {
+		coord.Close()
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {

@@ -20,6 +20,16 @@
 // run resumes where it stopped (-resume, on by default) and a repeated
 // identical run is answered from cache without simulating at all. The
 // store directory is shared with citadel-server -job-dir.
+//
+// -cluster-listen (durable mode only) additionally serves the
+// coordinator protocol on the given address, so citadel-worker
+// processes can pull chunks of this one campaign:
+//
+//	citadel-sim -scheme Citadel -trials 2000000 -job-dir ./campaigns -cluster-listen :8080
+//	citadel-worker -coordinator http://localhost:8080    # in other terminals / hosts
+//
+// If no worker shows up within the grace period the campaign simply
+// runs locally — the flag never blocks a result.
 package main
 
 import (
@@ -28,12 +38,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	citadel "repro"
+	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -78,6 +91,8 @@ func main() {
 		resume     = flag.Bool("resume", true, "durable mode: resume from an existing checkpoint (false restarts from trial zero)")
 		ckptTrials = flag.Int("checkpoint-trials", jobs.DefaultCheckpointTrials, "durable mode: trials per checkpoint chunk (part of the campaign identity)")
 		jobWorkers = flag.Int("workers", 0, "durable mode: engine worker goroutines (0 = GOMAXPROCS; part of the campaign identity)")
+		clusterOn  = flag.String("cluster-listen", "", "durable mode: serve the coordinator protocol on this address so citadel-worker processes can pull chunks")
+		workerWait = flag.Duration("worker-grace", 10*time.Second, "cluster mode: how long to wait for a live worker before running locally")
 	)
 	flag.Parse()
 
@@ -109,14 +124,20 @@ func main() {
 		}
 		rates = loaded
 	}
+	if *clusterOn != "" && *jobDir == "" {
+		fmt.Fprintln(os.Stderr, "-cluster-listen requires -job-dir (chunks checkpoint through the job store)")
+		os.Exit(2)
+	}
 	if *jobDir != "" {
 		if *targetFail > 0 || *forensics != "" || *traceOut != "" || *ratesPath != "" {
 			fmt.Fprintln(os.Stderr, "-job-dir is incompatible with -target-failures, -forensics, -trace and -rates")
 			os.Exit(2)
 		}
 		runDurable(durableRun{
-			dir:    *jobDir,
-			resume: *resume,
+			dir:           *jobDir,
+			resume:        *resume,
+			clusterListen: *clusterOn,
+			workerGrace:   *workerWait,
 			spec: jobs.ReliabilitySpec{
 				Scheme:           *schemeName,
 				Trials:           *trials,
@@ -218,6 +239,8 @@ func main() {
 type durableRun struct {
 	dir           string
 	resume        bool
+	clusterListen string // non-empty: serve the coordinator protocol here
+	workerGrace   time.Duration
 	spec          jobs.ReliabilitySpec
 	progressEvery time.Duration
 }
@@ -243,7 +266,29 @@ func runDurable(cfg durableRun) {
 			st.DeleteResult(key)
 		}
 	}
-	orch := jobs.New(jobs.Options{Store: st, Workers: 1, QueueDepth: 1, Logf: logf})
+	// With -cluster-listen, chunks are offered to pulling citadel-worker
+	// processes first; the campaign falls back to local execution if none
+	// show up within the grace period (or all die mid-campaign).
+	orchOpts := jobs.Options{Store: st, Workers: 1, QueueDepth: 1, Logf: logf}
+	var coord *cluster.Coordinator
+	if cfg.clusterListen != "" {
+		coord = cluster.New(cluster.Options{NoWorkerGrace: cfg.workerGrace, Logf: logf})
+		defer coord.Close()
+		srv := &http.Server{
+			Addr:    cfg.clusterListen,
+			Handler: api.New(api.Options{Cluster: coord, Logf: logf}).Handler(),
+		}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "cluster listener %s: %v (running locally)\n", cfg.clusterListen, err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cluster: coordinator on %s; point citadel-worker -coordinator at it (local fallback after %s without workers)\n",
+			cfg.clusterListen, cfg.workerGrace)
+		orchOpts.ChunkExec = coord
+	}
+	orch := jobs.New(orchOpts)
 	job, err := orch.Submit(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

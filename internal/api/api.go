@@ -27,6 +27,7 @@ import (
 	"time"
 
 	citadel "repro"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -79,6 +80,12 @@ type Options struct {
 	// and queue bounds — so a saturated synchronous pool never blocks an
 	// async submit.
 	Jobs *jobs.Orchestrator
+	// Cluster, when non-nil, mounts the distributed-campaign coordinator
+	// routes under /api/v1/cluster (see cluster.go): workers pull chunk
+	// leases, heartbeat them, and deliver results here. Like the job
+	// routes, they bypass the simulation-slot semaphore — a heartbeat
+	// stalled behind a saturated sim pool would expire healthy leases.
+	Cluster *cluster.Coordinator
 }
 
 // withDefaults fills zero fields.
@@ -143,6 +150,10 @@ func (s *Server) Drain() { s.draining.Store(true) }
 //	GET  /api/v1/jobs         list jobs (only with Options.Jobs)
 //	GET  /api/v1/jobs/{id}    job status/progress/result (only with Options.Jobs)
 //	DELETE /api/v1/jobs/{id}  cancel a job (only with Options.Jobs)
+//	POST /api/v1/cluster/lease      worker pulls a chunk lease (only with Options.Cluster)
+//	POST /api/v1/cluster/heartbeat  worker extends a lease (only with Options.Cluster)
+//	POST /api/v1/cluster/complete   worker delivers a chunk (only with Options.Cluster)
+//	GET  /api/v1/cluster/workers    worker fleet view (only with Options.Cluster)
 //	GET  /metrics             Prometheus text metrics (engine + API)
 //	GET  /debug/trace         flight-recorder dump (only with Options.Trace)
 //	GET  /debug/pprof/...     live profiling (only with Options.EnablePprof)
@@ -160,6 +171,12 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
 		mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
 		mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	}
+	if s.opts.Cluster != nil {
+		mux.HandleFunc("POST "+cluster.LeasePath, s.handleClusterLease)
+		mux.HandleFunc("POST "+cluster.HeartbeatPath, s.handleClusterHeartbeat)
+		mux.HandleFunc("POST "+cluster.CompletePath, s.handleClusterComplete)
+		mux.HandleFunc("GET "+cluster.WorkersPath, s.handleClusterWorkers)
 	}
 	mux.Handle("GET /metrics", obs.Default().Handler())
 	if s.opts.Trace.Enabled() {
@@ -303,11 +320,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ready",
 		"inFlight": s.InFlight(),
 		"capacity": s.Capacity(),
-	})
+	}
+	if s.opts.Jobs != nil {
+		body["jobQueueDepth"] = s.opts.Jobs.QueueDepth()
+		body["jobQueueCap"] = s.opts.Jobs.QueueCap()
+	}
+	if s.opts.Cluster != nil {
+		body["liveWorkers"] = s.opts.Cluster.LiveWorkers()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {

@@ -2,6 +2,7 @@ package api
 
 import (
 	"errors"
+	"math/rand"
 	"net/http"
 	"strconv"
 
@@ -42,12 +43,17 @@ type JobResponse struct {
 }
 
 // retryAfterSeconds derives the 429 Retry-After hint from the queue
-// depth: roughly two seconds of drain per queued campaign, clamped to
-// [1s, 120s]. It is a hint, not a promise — campaigns vary wildly in
-// size — but it scales the client's backoff with the actual backlog
-// instead of a constant.
+// depth: roughly two seconds of drain per queued campaign, jittered to
+// ±25% and clamped to [1s, 120s]. It is a hint, not a promise —
+// campaigns vary wildly in size — but it scales the client's backoff
+// with the actual backlog instead of a constant, and the jitter spreads
+// retries from clients that were all shed by the same full queue so
+// they do not stampede back in the same second.
 func retryAfterSeconds(depth int) int {
 	retry := 2 * depth
+	if q := retry / 4; q > 0 {
+		retry += rand.Intn(2*q+1) - q
+	}
 	if retry < 1 {
 		retry = 1
 	}

@@ -1,0 +1,168 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// chaosTransport injects transport-level failure into the worker side of
+// the lease protocol:
+//
+//   - heartbeats are randomly dropped (simulating loss/partition), so
+//     leases expire under the coordinator's nose while the worker still
+//     computes;
+//   - complete deliveries are duplicated (the retried-POST case), so the
+//     coordinator's per-chunk dedup is exercised on every finish.
+//
+// The campaign result must still be bit-identical to a quiet local run —
+// that is the whole point of the protocol.
+type chaosTransport struct {
+	inner http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropHeartbeat float64 // probability a heartbeat POST is eaten
+	dupComplete   bool    // deliver every complete twice
+}
+
+func (c *chaosTransport) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch {
+	case strings.HasSuffix(req.URL.Path, cluster.HeartbeatPath):
+		if c.roll() < c.dropHeartbeat {
+			return nil, fmt.Errorf("chaos: heartbeat dropped")
+		}
+	case strings.HasSuffix(req.URL.Path, cluster.CompletePath) && c.dupComplete:
+		// First delivery goes through; its response is discarded and the
+		// clone's response is returned, exactly like a client retrying a
+		// POST whose response it never saw.
+		clone := req.Clone(req.Context())
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			clone.Body = body
+		}
+		first, err := c.inner.RoundTrip(req)
+		if err == nil {
+			first.Body.Close()
+		}
+		return c.inner.RoundTrip(clone)
+	}
+	return c.inner.RoundTrip(req)
+}
+
+// TestChaosCampaign runs a distributed campaign while workers are
+// SIGKILLed at random (abrupt context cancellation: no farewell request,
+// in-flight chunk lost), heartbeats are dropped, and every chunk result
+// is delivered twice. The campaign must finish with result bytes
+// identical to a quiet in-process run, and the duplicate-dedup path must
+// actually have fired. Run under -race via `make stress-cluster`;
+// skipped with -short.
+func TestChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test; skipped with -short")
+	}
+	spec := testSpec(23, 60000, 500) // 120 chunks
+	want := runLocal(t, spec)
+
+	h := newHarness(t, cluster.Options{
+		LeaseTTL:  250 * time.Millisecond,
+		Tick:      40 * time.Millisecond,
+		RetryBase: 20 * time.Millisecond,
+		RetryMax:  100 * time.Millisecond,
+		// Chaos kills are not the workers' fault: keep the fleet leasable
+		// instead of quarantining every victim.
+		QuarantineAfter: 1 << 20,
+		NoWorkerGrace:   10 * time.Second,
+	})
+	chaos := &chaosTransport{
+		inner:         http.DefaultTransport,
+		rng:           rand.New(rand.NewSource(23)),
+		dropHeartbeat: 0.25,
+		dupComplete:   true,
+	}
+	client := &http.Client{Transport: chaos, Timeout: 10 * time.Second}
+
+	// Killer: keep ~3 workers alive, SIGKILLing one at random every few
+	// hundred milliseconds and spawning a fresh replacement (new ID, as a
+	// restarted process would have).
+	killerCtx, stopKiller := context.WithCancel(context.Background())
+	defer stopKiller()
+	var wg sync.WaitGroup
+	spawn := func(id string) context.CancelFunc {
+		ctx, cancel := context.WithCancel(killerCtx)
+		w := cluster.NewWorker(cluster.WorkerOptions{
+			BaseURL:      h.srv.URL,
+			ID:           id,
+			Client:       client,
+			PollInterval: 20 * time.Millisecond,
+			Logf:         nolog,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+		return cancel
+	}
+	const fleet = 3
+	kills := make([]context.CancelFunc, fleet)
+	for i := 0; i < fleet; i++ {
+		kills[i] = spawn(fmt.Sprintf("chaos-w%d", i))
+	}
+	next := fleet
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-killerCtx.Done():
+				return
+			case <-time.After(time.Duration(50+rng.Intn(120)) * time.Millisecond):
+				victim := rng.Intn(fleet)
+				kills[victim]() // SIGKILL: no farewell, chunk abandoned mid-flight
+				kills[victim] = spawn(fmt.Sprintf("chaos-w%d", next))
+				next++
+			}
+		}
+	}()
+
+	dupBefore := counter("citadel_cluster_duplicate_results_total")
+	chunksBefore := counter("citadel_cluster_chunks_completed_total")
+	got := runCampaign(t, h.orch, spec)
+	stopKiller()
+	wg.Wait()
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("chaos result differs from quiet local run:\n got %s\nwant %s", got, want)
+	}
+	if d := counter("citadel_cluster_chunks_completed_total") - chunksBefore; d < 1 {
+		t.Errorf("no chunks completed via workers (delta %d); chaos test never exercised the cluster", d)
+	}
+	if d := counter("citadel_cluster_duplicate_results_total") - dupBefore; d < 1 {
+		t.Errorf("duplicate deliveries never hit the dedup path (delta %d)", d)
+	}
+	t.Logf("chaos: %d worker chunk completions, %d duplicates deduped, %d lease expiries, %d reassignments, %d workers spawned",
+		counter("citadel_cluster_chunks_completed_total")-chunksBefore,
+		counter("citadel_cluster_duplicate_results_total")-dupBefore,
+		counter("citadel_cluster_lease_expiries_total"),
+		counter("citadel_cluster_reassignments_total"), next)
+}

@@ -1,0 +1,46 @@
+package faultsim
+
+import "fmt"
+
+// ChunkEnvelope is the wire form of one completed campaign chunk: the
+// chunk's Result plus enough identity (campaign key, chunk index,
+// expected trial count) for a coordinator to validate it against the
+// chunk it handed out and to deduplicate redelivered results by chunk
+// index. Chunks are deterministic — chunk i of a campaign always runs on
+// ChunkSeed(base, i) with the spec's pinned worker count — so two
+// envelopes for the same (campaign, chunk) carry identical statistics
+// and dropping a duplicate loses nothing.
+type ChunkEnvelope struct {
+	// CampaignKey is the content key of the campaign the chunk belongs
+	// to (jobs.Spec.Key of the normalized spec). A coordinator rejects
+	// envelopes for campaigns it is not running.
+	CampaignKey string `json:"campaignKey"`
+	// Chunk is the zero-based chunk index within the campaign.
+	Chunk int `json:"chunk"`
+	// Trials is the trial count the chunk was asked to run,
+	// cross-checked against Result.Trials so a truncated or mismatched
+	// result cannot corrupt the campaign merge.
+	Trials int `json:"trials"`
+	// Result is the chunk's complete (never partial) simulation result.
+	Result Result `json:"result"`
+}
+
+// Validate rejects envelopes that must not enter a campaign merge: a
+// partial result would bias the statistics, a trial-count mismatch means
+// the sender ran the wrong work, and a negative chunk index or empty
+// campaign key is malformed.
+func (e ChunkEnvelope) Validate() error {
+	switch {
+	case e.CampaignKey == "":
+		return fmt.Errorf("faultsim: chunk envelope without campaign key")
+	case e.Chunk < 0:
+		return fmt.Errorf("faultsim: negative chunk index %d", e.Chunk)
+	case e.Trials <= 0:
+		return fmt.Errorf("faultsim: chunk %d claims %d trials", e.Chunk, e.Trials)
+	case e.Result.Partial:
+		return fmt.Errorf("faultsim: chunk %d result is partial (%d/%d trials)", e.Chunk, e.Result.Trials, e.Trials)
+	case e.Result.Trials != e.Trials:
+		return fmt.Errorf("faultsim: chunk %d result has %d trials, envelope claims %d", e.Chunk, e.Result.Trials, e.Trials)
+	}
+	return nil
+}

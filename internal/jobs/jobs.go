@@ -81,6 +81,11 @@ type Options struct {
 	// QueueDepth bounds the jobs waiting to run (default 64). Submits
 	// past it fail with ErrQueueFull.
 	QueueDepth int
+	// ChunkExec, when non-nil, executes reliability chunks out of
+	// process (internal/cluster leases them to citadel-worker nodes).
+	// It is best-effort: if it fails, the campaign falls back to local
+	// in-process execution from its last committed chunk.
+	ChunkExec ChunkExecutor
 	// Logf sinks orchestrator logs (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -777,10 +782,13 @@ func (o *Orchestrator) persistCheckpoint(j *job, total *citadel.Result) {
 }
 
 // runReliability executes a chunked, checkpointed Monte Carlo campaign.
+// With a ChunkExecutor configured, chunks run on remote workers first;
+// executor failure (workers all dead, coordinator shutting down) falls
+// back to the local in-process loop from the last committed chunk, so a
+// degraded cluster slows a campaign down but never fails it.
 func (o *Orchestrator) runReliability(ctx context.Context, j *job) (any, bool, error) {
 	r := j.spec.Reliability
-	scheme, ok := schemeByName(r.Scheme)
-	if !ok {
+	if _, ok := schemeByName(r.Scheme); !ok {
 		return nil, false, fmt.Errorf("jobs: unknown scheme %q", r.Scheme)
 	}
 	chunks := totalChunks(r)
@@ -806,45 +814,63 @@ func (o *Orchestrator) runReliability(ctx context.Context, j *job) (any, bool, e
 			total = *cp.Result
 		}
 	}
-	for i := start; i < chunks; i++ {
-		if ctx.Err() != nil {
-			return nil, true, nil
-		}
-		n := r.CheckpointTrials
-		if rem := r.Trials - i*r.CheckpointTrials; n > rem {
-			n = rem
-		}
-		baseTrials, baseFailures := total.Trials, total.Failures
-		opts := citadel.ReliabilityOptions{
-			Rates:              citadel.Table1Rates().WithTSV(r.TSVFIT),
-			Trials:             n,
-			LifetimeYears:      r.LifetimeYears,
-			ScrubIntervalHours: r.ScrubHours,
-			TSVSwap:            r.TSVSwap,
-			Seed:               faultsim.ChunkSeed(r.Seed, i),
-			Workers:            r.Workers,
-			RunID:              j.id,
-			Progress: func(p citadel.RunProgress) {
-				j.mu.Lock()
-				j.trialsDone = baseTrials + p.TrialsDone
-				j.failures = baseFailures + p.Failures
-				j.mu.Unlock()
-			},
-		}
-		res := citadel.SimulateReliabilityContext(ctx, opts, scheme)
-		if res.Partial {
-			// Mid-chunk interruption: discard the chunk (its statistics
-			// depend on where the cancel landed) and resume it whole.
-			return nil, true, nil
+	// commit folds chunk i into the prefix merge and checkpoints it —
+	// the one mutation path shared by distributed and local execution,
+	// always invoked in increasing chunk order.
+	commit := func(i int, res citadel.Result) error {
+		if i != start {
+			return fmt.Errorf("jobs: chunk %d committed out of order (expected %d)", i, start)
 		}
 		total = faultsim.Merge(total, res)
 		total.Policy = res.Policy
+		start = i + 1
 		j.mu.Lock()
 		j.chunksDone = i + 1
 		j.trialsDone = total.Trials
 		j.failures = total.Failures
 		j.mu.Unlock()
 		o.persistCheckpoint(j, &total)
+		return nil
+	}
+	if exec := o.opts.ChunkExec; exec != nil && start < chunks {
+		err := exec.ExecuteChunks(ctx, Campaign{
+			Key: j.key, RunID: j.id, Spec: *r, Start: start, Total: chunks,
+		}, commit)
+		switch {
+		case err == nil:
+			// Every chunk ran on workers.
+		case ctx.Err() != nil:
+			return nil, true, nil
+		default:
+			// Completed chunks are committed and checkpointed; only the
+			// tail re-runs here.
+			mClusterFallback.Inc()
+			o.opts.Logf("jobs: job=%s cluster execution failed at chunk %d/%d (%v); falling back to local execution",
+				j.id, start, chunks, err)
+		}
+	}
+	for i := start; i < chunks; i++ {
+		if ctx.Err() != nil {
+			return nil, true, nil
+		}
+		baseTrials, baseFailures := total.Trials, total.Failures
+		res, err := RunChunk(ctx, r, i, j.id, func(p citadel.RunProgress) {
+			j.mu.Lock()
+			j.trialsDone = baseTrials + p.TrialsDone
+			j.failures = baseFailures + p.Failures
+			j.mu.Unlock()
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if res.Partial {
+			// Mid-chunk interruption: discard the chunk (its statistics
+			// depend on where the cancel landed) and resume it whole.
+			return nil, true, nil
+		}
+		if err := commit(i, res); err != nil {
+			return nil, false, err
+		}
 	}
 	return total, false, nil
 }

@@ -23,6 +23,8 @@ var (
 		"Checkpoints persisted across all campaigns.")
 	mResumed = obs.Default().Counter("citadel_jobs_resumed_total",
 		"Campaigns resumed from a persisted checkpoint.")
+	mClusterFallback = obs.Default().Counter("citadel_jobs_cluster_fallback_total",
+		"Campaigns that fell back from cluster to local in-process execution.")
 	mQueueDepth = obs.Default().Gauge("citadel_jobs_queue_depth",
 		"Jobs currently waiting in the orchestrator queue.")
 	mRunning = obs.Default().Gauge("citadel_jobs_running",

@@ -1,9 +1,12 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -226,5 +229,74 @@ func TestDeleteResult(t *testing.T) {
 	}
 	if n, b := s.ResultCount(), s.ResultBytes(); n != 0 || b != 0 {
 		t.Errorf("count=%d bytes=%d after delete, want 0/0", n, b)
+	}
+}
+
+// TestConcurrentPutGetEviction hammers the LRU with concurrent writers
+// and readers and asserts the byte-cap invariant holds at every
+// observable instant: with more than one cached entry, the accounted
+// total never exceeds MaxBytes — eviction happens inside the same
+// critical section as the insert, so no reader can catch the store
+// over budget mid-flight. Run under -race via `go test -race`.
+func TestConcurrentPutGetEviction(t *testing.T) {
+	val := []byte(strings.Repeat("x", 512))
+	// Cap fits ~8 entries, far fewer than the writers insert, so
+	// eviction churns continuously under contention.
+	maxBytes := int64(8 * len(val))
+	s, _ := openTemp(t, Options{MaxBytes: maxBytes})
+
+	const writers, perWriter = 8, 40
+	stop := make(chan struct{})
+
+	// Observer: polls the accounted total for the whole run, while puts
+	// and evictions race underneath it.
+	var overBudget atomic.Int64
+	var obsWg sync.WaitGroup
+	obsWg.Add(1)
+	go func() {
+		defer obsWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := s.ResultBytes(); got > maxBytes && s.ResultCount() > 1 {
+				overBudget.Store(got)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("cc-%02d-%03d", w, i)
+				if err := s.PutResult(key, val); err != nil {
+					t.Errorf("PutResult(%s): %v", key, err)
+					return
+				}
+				// Readers touch recent keys, racing eviction's LRU scan.
+				if data, ok := s.GetResult(key); ok && len(data) != len(val) {
+					t.Errorf("GetResult(%s) = %d bytes, want %d", key, len(data), len(val))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	obsWg.Wait()
+
+	if got := overBudget.Load(); got != 0 {
+		t.Errorf("observer caught the store %d bytes over its %d-byte cap mid-flight", got, maxBytes)
+	}
+	if got := s.ResultBytes(); got > maxBytes {
+		t.Errorf("final accounted bytes %d exceed cap %d", got, maxBytes)
+	}
+	if n := s.ResultCount(); n < 1 {
+		t.Errorf("eviction emptied the store entirely (%d entries)", n)
 	}
 }
