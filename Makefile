@@ -59,6 +59,7 @@ bench.out:
 	$(GO) test -run xxx -bench 'BenchmarkTrials|BenchmarkTrialStateRun|BenchmarkParityStateAdd' \
 		-benchmem ./internal/faultsim/ > bench.out
 	$(GO) test -run xxx -bench 'BenchmarkCRC' ./internal/crc/ >> bench.out
+	$(GO) test -run xxx -bench 'BenchmarkRareEventTail' ./internal/rare/ >> bench.out
 	$(GO) test -run xxx -bench 'BenchmarkMonteCarloTrialThroughput|BenchmarkFig4StripingReliability' \
 		-benchmem . >> bench.out
 

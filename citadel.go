@@ -34,6 +34,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/obs/trace"
 	"repro/internal/parity"
+	"repro/internal/rare"
 	"repro/internal/sparing"
 	"repro/internal/stack"
 )
@@ -225,7 +226,20 @@ type ReliabilityOptions struct {
 	// Trace, when non-nil, records sampled per-trial spans and failure
 	// instants into the flight recorder.
 	Trace *trace.Recorder
+	// RareEvent switches the run to the importance-sampled rare-event
+	// engine (internal/rare): fault arrivals are biased toward
+	// large-granularity classes and unbiased by likelihood ratios, so
+	// ~1e-6-and-below tails resolve in orders of magnitude fewer trials.
+	// The returned Result is Weighted. Incompatible with Forensics and
+	// Trace (the rare engine does not capture exemplars or spans).
+	RareEvent bool
+	// BiasFactor is the rare-event rate inflation (>= 1; 0 selects
+	// DefaultBiasFactor). Only meaningful with RareEvent.
+	BiasFactor float64
 }
+
+// DefaultBiasFactor is the rare-event engine's default rate inflation.
+const DefaultBiasFactor = rare.DefaultBiasFactor
 
 // Result is the outcome of a reliability run.
 type Result = faultsim.Result
@@ -286,10 +300,24 @@ func SimulateReliability(opts ReliabilityOptions, scheme Scheme) Result {
 // SimulateReliabilityContext estimates the probability of system failure
 // for one scheme. Cancelling ctx stops the Monte Carlo workers within
 // one trial batch; the completed trials are returned as a Result marked
-// Partial (the estimate stays unbiased, just wider).
+// Partial (the estimate stays unbiased, just wider). With
+// opts.RareEvent the trial budget runs through the importance-sampled
+// engine instead and the Result comes back Weighted.
 func SimulateReliabilityContext(ctx context.Context, opts ReliabilityOptions, scheme Scheme) Result {
 	opts = opts.withDefaults()
-	return faultsim.RunContext(ctx, opts.engineOptions(), scheme.policy(opts.Config, opts.TSVSwap))
+	return runOne(ctx, opts, scheme)
+}
+
+// runOne dispatches one scheme to the plain or rare-event engine.
+func runOne(ctx context.Context, opts ReliabilityOptions, scheme Scheme) Result {
+	pol := scheme.policy(opts.Config, opts.TSVSwap)
+	if opts.RareEvent {
+		return rare.RunISContext(ctx, rare.Options{
+			Options:    opts.engineOptions(),
+			BiasFactor: opts.BiasFactor,
+		}, pol)
+	}
+	return faultsim.RunContext(ctx, opts.engineOptions(), pol)
 }
 
 // CompareReliability runs several schemes under identical options.
@@ -305,7 +333,7 @@ func CompareReliabilityContext(ctx context.Context, opts ReliabilityOptions, sch
 	opts = opts.withDefaults()
 	out := make([]Result, len(schemes))
 	for i, s := range schemes {
-		out[i] = faultsim.RunContext(ctx, opts.engineOptions(), s.policy(opts.Config, opts.TSVSwap))
+		out[i] = runOne(ctx, opts, s)
 	}
 	return out
 }
@@ -327,6 +355,31 @@ func SimulateReliabilityAdaptiveContext(ctx context.Context, opts ReliabilityOpt
 		Options:        opts.engineOptions(),
 		TargetFailures: targetFailures,
 		MaxTrials:      maxTrials,
+	}, scheme.policy(opts.Config, opts.TSVSwap))
+}
+
+// SplitResult is a multilevel-splitting reliability estimate — the
+// cross-validation counterpart of the importance-sampled engine.
+type SplitResult = rare.SplitResult
+
+// SimulateReliabilitySplit estimates failure probability by multilevel
+// splitting on the number of simultaneously live faults, using
+// opts.Trials trajectories per stage at the given levels (nil selects
+// the default [1, 2]). It shares no bias machinery with the
+// importance-sampled path, so agreement between the two is a meaningful
+// check; it cannot be interrupted (see SimulateReliabilitySplitContext).
+func SimulateReliabilitySplit(opts ReliabilityOptions, scheme Scheme, levels []int) SplitResult {
+	return SimulateReliabilitySplitContext(context.Background(), opts, scheme, levels)
+}
+
+// SimulateReliabilitySplitContext is SimulateReliabilitySplit under a
+// context: cancellation abandons the run and returns a SplitResult
+// marked Partial.
+func SimulateReliabilitySplitContext(ctx context.Context, opts ReliabilityOptions, scheme Scheme, levels []int) SplitResult {
+	opts = opts.withDefaults()
+	return rare.RunSplitContext(ctx, rare.SplitOptions{
+		Options: opts.engineOptions(),
+		Levels:  levels,
 	}, scheme.policy(opts.Config, opts.TSVSwap))
 }
 

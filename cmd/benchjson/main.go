@@ -110,11 +110,18 @@ func main() {
 	}
 }
 
-// compareReports gates cur against base: a benchmark regresses when its
-// trials/s drops more than tolerance below the baseline, or its allocs/op
-// rises above the baseline at all (the trial loop is a zero-allocation
-// contract, so any increase is a leak, not noise). Returns the failing
-// descriptions plus one human-readable note per compared benchmark.
+// throughputUnits are the higher-is-better rates the gate tracks:
+// trials/s is raw engine speed, efftrials/s the rare-event engine's
+// variance-equivalent naive throughput (its whole reason to exist — a
+// bias regression shows up here long before wall-clock moves).
+var throughputUnits = []string{"trials/s", "efftrials/s"}
+
+// compareReports gates cur against base: a benchmark regresses when any
+// tracked throughput unit drops more than tolerance below the baseline,
+// or its allocs/op rises above the baseline at all (the trial loop is a
+// zero-allocation contract, so any increase is a leak, not noise).
+// Returns the failing descriptions plus one human-readable note per
+// compared benchmark.
 func compareReports(base, cur *Report, tolerance float64) (regressions, notes []string) {
 	baseline := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -127,13 +134,17 @@ func compareReports(base, cur *Report, tolerance float64) (regressions, notes []
 			continue
 		}
 		line := fmt.Sprintf("%-50s", b.Name)
-		if bt, ct := old.Metrics["trials/s"], b.Metrics["trials/s"]; bt > 0 {
+		for _, unit := range throughputUnits {
+			bt, ct := old.Metrics[unit], b.Metrics[unit]
+			if bt <= 0 {
+				continue
+			}
 			ratio := ct / bt
-			line += fmt.Sprintf(" trials/s %.0f -> %.0f (%+.1f%%)", bt, ct, 100*(ratio-1))
+			line += fmt.Sprintf(" %s %.0f -> %.0f (%+.1f%%)", unit, bt, ct, 100*(ratio-1))
 			if ratio < 1-tolerance {
 				regressions = append(regressions, fmt.Sprintf(
-					"%s: trials/s %.0f -> %.0f (%.1f%% below baseline, tolerance %.0f%%)",
-					b.Name, bt, ct, 100*(1-ratio), 100*tolerance))
+					"%s: %s %.0f -> %.0f (%.1f%% below baseline, tolerance %.0f%%)",
+					b.Name, unit, bt, ct, 100*(1-ratio), 100*tolerance))
 			}
 		}
 		if ba, ok := old.Metrics["allocs/op"]; ok {

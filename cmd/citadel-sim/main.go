@@ -93,6 +93,9 @@ func main() {
 		jobWorkers = flag.Int("workers", 0, "durable mode: engine worker goroutines (0 = GOMAXPROCS; part of the campaign identity)")
 		clusterOn  = flag.String("cluster-listen", "", "durable mode: serve the coordinator protocol on this address so citadel-worker processes can pull chunks")
 		workerWait = flag.Duration("worker-grace", 10*time.Second, "cluster mode: how long to wait for a live worker before running locally")
+		rareEvent  = flag.Bool("rare-event", false, "importance-sampled rare-event engine: bias large-granularity faults, unbias via likelihood ratios (resolves <1e-6 tails)")
+		biasFactor = flag.Float64("bias-factor", 0, "rare-event mode: large-granularity rate inflation (0 = default 16)")
+		splitCheck = flag.Bool("split", false, "cross-validate with multilevel splitting on the live-fault count (direct mode only)")
 	)
 	flag.Parse()
 
@@ -128,6 +131,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-cluster-listen requires -job-dir (chunks checkpoint through the job store)")
 		os.Exit(2)
 	}
+	if *biasFactor != 0 && !*rareEvent {
+		fmt.Fprintln(os.Stderr, "-bias-factor requires -rare-event")
+		os.Exit(2)
+	}
+	if *rareEvent && (*targetFail > 0 || *forensics != "" || *traceOut != "") {
+		fmt.Fprintln(os.Stderr, "-rare-event is incompatible with -target-failures, -forensics and -trace")
+		os.Exit(2)
+	}
+	if *splitCheck && *jobDir != "" {
+		fmt.Fprintln(os.Stderr, "-split runs in direct mode only (not with -job-dir)")
+		os.Exit(2)
+	}
 	if *jobDir != "" {
 		if *targetFail > 0 || *forensics != "" || *traceOut != "" || *ratesPath != "" {
 			fmt.Fprintln(os.Stderr, "-job-dir is incompatible with -target-failures, -forensics, -trace and -rates")
@@ -148,6 +163,8 @@ func main() {
 				Seed:             *seed,
 				Workers:          *jobWorkers,
 				CheckpointTrials: *ckptTrials,
+				RareEvent:        *rareEvent,
+				BiasFactor:       *biasFactor,
 			},
 			progressEvery: *progress,
 		})
@@ -164,6 +181,8 @@ func main() {
 		RunID:              obs.NewRunID(),
 		Forensics:          *forensics != "",
 		MaxExemplars:       *exemplars,
+		RareEvent:          *rareEvent,
+		BiasFactor:         *biasFactor,
 	}
 	if *traceOut != "" {
 		opts.Trace = trace.New(trace.Options{
@@ -197,9 +216,18 @@ func main() {
 	} else {
 		res = citadel.SimulateReliabilityContext(ctx, opts, scheme)
 	}
-	stop()
+	// Do not stop() here: -split reuses ctx below, and NotifyContext's
+	// stop cancels the context rather than just unregistering signals.
 	if res.Partial {
 		fmt.Fprintf(os.Stderr, "interrupted: partial result over %d completed trials\n", res.Trials)
+	}
+	if *targetFail > 0 && !res.Partial && !res.TargetMet {
+		fmt.Fprintf(os.Stderr, "adaptive: target of %d failures NOT reached (%d observed at the trial cap); consider -rare-event\n",
+			*targetFail, res.Failures)
+	}
+	if *rareEvent {
+		fmt.Fprintf(os.Stderr, "rare-event: ESS=%.1f effective-trials=%.3g (%.0fx the %d simulated)\n",
+			res.ESS(), res.EffectiveTrials(), res.EffectiveTrials()/float64(max(res.Trials, 1)), res.Trials)
 	}
 	if *forensics != "" {
 		report := citadel.NewForensicsReport(opts, scheme, res)
@@ -232,6 +260,14 @@ func main() {
 	fmt.Printf("%-6s %s\n", "year", "P(failure)")
 	for y := 1; y <= int(*years); y++ {
 		fmt.Printf("%-6d %.3e\n", y, res.ProbabilityByYear(y))
+	}
+	if *splitCheck {
+		sp := citadel.SimulateReliabilitySplitContext(ctx, opts, scheme, nil)
+		if sp.Partial {
+			fmt.Fprintf(os.Stderr, "split: interrupted: %v\n", sp.Err)
+		} else {
+			fmt.Println(sp)
+		}
 	}
 }
 
@@ -357,6 +393,10 @@ func runDurable(cfg durableRun) {
 	if err := json.Unmarshal(final.Result, &res); err != nil {
 		fmt.Fprintf(os.Stderr, "decoding campaign result: %v\n", err)
 		os.Exit(1)
+	}
+	if res.Weighted {
+		fmt.Fprintf(os.Stderr, "rare-event: ESS=%.1f effective-trials=%.3g (%.0fx the %d simulated)\n",
+			res.ESS(), res.EffectiveTrials(), res.EffectiveTrials()/float64(max(res.Trials, 1)), res.Trials)
 	}
 	fmt.Println(res)
 	if res.Trials == 0 {

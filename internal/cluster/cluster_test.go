@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -474,5 +475,44 @@ func TestCancelledCampaignRevokesLeases(t *testing.T) {
 	}
 	if st, err := c.Complete("w1", g.LeaseID, fakeEnvelope("camp-c", 0, 100)); err != nil || st != cluster.CompleteStale {
 		t.Errorf("delivery to cancelled campaign = %s, %v; want stale", st, err)
+	}
+}
+
+// TestDistributedRareEventMatchesLocal extends the determinism contract
+// to weighted campaigns: an importance-sampled campaign distributed
+// across workers must carry its likelihood-ratio sums through the lease
+// protocol and the coordinator's merge fold bit-identically to an
+// in-process run.
+func TestDistributedRareEventMatchesLocal(t *testing.T) {
+	spec := jobs.Spec{Reliability: &jobs.ReliabilitySpec{
+		Scheme:           "1DP",
+		Trials:           4000,
+		CheckpointTrials: 500,
+		Workers:          1,
+		Seed:             7,
+		TSVFIT:           1430,
+		RareEvent:        true,
+		BiasFactor:       8,
+	}}
+	want := runLocal(t, spec)
+
+	var ref faultsim.Result
+	if err := json.Unmarshal(want, &ref); err != nil {
+		t.Fatalf("unmarshal local result: %v", err)
+	}
+	if !ref.Weighted || ref.FailWeight <= 0 {
+		t.Fatalf("local rare campaign carries no weighted signal: %+v", ref)
+	}
+
+	h := newHarness(t, cluster.Options{
+		LeaseTTL:      2 * time.Second,
+		Tick:          50 * time.Millisecond,
+		NoWorkerGrace: 10 * time.Second,
+	})
+	h.startWorker(t, "w0")
+	h.startWorker(t, "w1")
+	got := runCampaign(t, h.orch, spec)
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed weighted result differs from local:\n got %s\nwant %s", got, want)
 	}
 }

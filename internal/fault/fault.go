@@ -73,6 +73,11 @@ func (c Class) String() string {
 // IsTSV reports whether the class is a TSV fault mode.
 func (c Class) IsTSV() bool { return c == DataTSV || c == AddrTSV }
 
+// LargeGranularity reports whether the class is in the large-granularity
+// band (column and above, including TSV modes) — the multi-bit failure
+// modes Citadel targets and the rare-event engine inflates.
+func (c Class) LargeGranularity() bool { return c >= Column }
+
 // Persistence distinguishes transient (scrubbed away once corrected) from
 // permanent faults.
 type Persistence int
@@ -232,6 +237,43 @@ func (r Rates) WithTSV(fit float64) Rates {
 	return r
 }
 
+// BiasLarge returns a copy of r with every large-granularity rate —
+// column, row, the bank/sub-array budget, and TSV — multiplied by
+// factor. It is the proposal distribution of the importance-sampling
+// engine (internal/rare): inflating a class's Poisson rate λ to Bλ
+// leaves placement and arrival-time distributions untouched, so the
+// per-trial likelihood ratio reduces to exp((B−1)Λ)·B^(−n) with Λ the
+// total large-granularity event expectation (LargeLambda) and n the
+// number of large-granularity events drawn.
+func (r Rates) BiasLarge(factor float64) Rates {
+	r.ColumnTransient *= factor
+	r.ColumnPermanent *= factor
+	r.RowTransient *= factor
+	r.RowPermanent *= factor
+	// SubArray and Bank classes both derive from the bank budget via
+	// SubArrayFraction, so scaling the budget scales each class rate by
+	// exactly factor.
+	r.BankTransient *= factor
+	r.BankPermanent *= factor
+	r.TSVPerDie *= factor
+	return r
+}
+
+// LargeLambda returns the expected number of large-granularity fault
+// events over hours for the geometry — the Λ in the rare-event
+// likelihood ratio. Class events scale with all fault-bearing dies
+// (data + ECC); TSV events, as in Sampler, with data dies only.
+func (r Rates) LargeLambda(cfg stack.Config, hours float64) float64 {
+	nDies := float64(cfg.Stacks * (cfg.DataDies + cfg.ECCDies))
+	var perDie float64
+	for c := Column; c <= Bank; c++ {
+		perDie += r.classRate(c, Transient) + r.classRate(c, Permanent)
+	}
+	lam := perDie * 1e-9 * hours * nDies
+	lam += r.TSVPerDie * 1e-9 * hours * float64(cfg.Stacks*cfg.DataDies)
+	return lam
+}
+
 // TotalPerDie returns the sum of all per-die FIT rates, including TSV.
 func (r Rates) TotalPerDie() float64 {
 	return r.BitTransient + r.BitPermanent +
@@ -341,18 +383,30 @@ func (s *Sampler) SampleLifetime(rng *rand.Rand, hours float64) []Fault {
 // SampleLifetime's, so fixed-seed runs produce the same faults either way.
 // The appended portion is sorted by arrival time.
 func (s *Sampler) AppendLifetime(rng *rand.Rand, hours float64, dst []Fault) []Fault {
-	start := len(dst)
+	return s.AppendWindow(rng, 0, hours, dst)
+}
+
+// AppendWindow draws all fault events arriving in the window
+// (start, start+span] and appends them to dst, sorted by arrival time.
+// Poisson arrivals are memoryless, so conditioning on any trajectory up
+// to start, the suffix of the lifetime is distributed exactly as a fresh
+// window draw — the branching step of multilevel splitting
+// (internal/rare). With start zero it draws a whole lifetime, with a
+// draw sequence identical to the pre-window AppendLifetime (0 + x is
+// exact), keeping seeded runs and goldens unchanged.
+func (s *Sampler) AppendWindow(rng *rand.Rand, start, span float64, dst []Fault) []Fault {
+	base := len(dst)
 	faults := dst
 	nDies := float64(s.cfg.Stacks * s.diesPerStack)
 	add := func(c Class, p Persistence, rate float64) {
 		if rate <= 0 {
 			return
 		}
-		lambda := rate * 1e-9 * hours * nDies
+		lambda := rate * 1e-9 * span * nDies
 		n := poisson(rng, lambda)
 		for i := 0; i < n; i++ {
 			f := s.place(rng, c, p)
-			f.Hours = rng.Float64() * hours
+			f.Hours = start + rng.Float64()*span
 			faults = append(faults, f)
 		}
 	}
@@ -362,7 +416,7 @@ func (s *Sampler) AppendLifetime(rng *rand.Rand, hours float64, dst []Fault) []F
 	}
 	// TSV events: permanent, split data/address by TSV population.
 	if s.rates.TSVPerDie > 0 {
-		lambda := s.rates.TSVPerDie * 1e-9 * hours * float64(s.cfg.Stacks*s.cfg.DataDies)
+		lambda := s.rates.TSVPerDie * 1e-9 * span * float64(s.cfg.Stacks*s.cfg.DataDies)
 		n := poisson(rng, lambda)
 		for i := 0; i < n; i++ {
 			total := s.cfg.DataTSVs + s.cfg.AddrTSVs
@@ -372,11 +426,11 @@ func (s *Sampler) AppendLifetime(rng *rand.Rand, hours float64, dst []Fault) []F
 			} else {
 				f = s.place(rng, AddrTSV, Permanent)
 			}
-			f.Hours = rng.Float64() * hours
+			f.Hours = start + rng.Float64()*span
 			faults = append(faults, f)
 		}
 	}
-	sortByTime(faults[start:])
+	sortByTime(faults[base:])
 	return faults
 }
 

@@ -39,6 +39,28 @@ func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
 	return o
 }
 
+// weightedView returns r with its weighted fields materialized: a plain
+// result is a weighted result whose every failing trial carried weight
+// one (the likelihood ratio of a sample under its own measure), so
+// FailWeight = FailWeightSq = Failures and FailWeightByYear mirrors
+// FailuresByYear. This is what lets Merge pool a biased and a naive run
+// into one unbiased mixture estimate.
+func (r Result) weightedView() Result {
+	if r.Weighted {
+		return r
+	}
+	r.FailWeight = float64(r.Failures)
+	r.FailWeightSq = float64(r.Failures)
+	if len(r.FailuresByYear) > 0 {
+		wy := make([]float64, len(r.FailuresByYear))
+		for i, v := range r.FailuresByYear {
+			wy[i] = float64(v)
+		}
+		r.FailWeightByYear = wy
+	}
+	return r
+}
+
 // Merge combines two independent runs of the same policy. A partial
 // input yields a partial merged result carrying the first non-nil
 // cancellation cause, whichever side it came from.
@@ -50,11 +72,24 @@ func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
 // (a trial that failed by year y has certainly failed by every later
 // year; failures the shorter run never simulated are necessarily
 // missing either way).
+//
+// Weighted fields merge bit-exactly: when either side is weighted the
+// output is weighted, with the plain side contributing unit weights (see
+// weightedView). Merging a zero-value accumulator with a weighted result
+// r reproduces r's float fields exactly (0 + x is exact in IEEE 754),
+// which is what lets chunked campaigns fold weighted checkpoints
+// bit-identically to an uninterrupted run. Note float addition is not
+// associative in general — campaign code must fold chunks in a fixed
+// order, as internal/jobs does.
+//
+// Nil maps and slices stay nil when both inputs lack them, so merging
+// zero-value results compares DeepEqual to a fresh zero value.
 func Merge(a, b Result) Result {
 	out := a
 	out.Trials += b.Trials
 	out.Failures += b.Failures
 	out.Partial = a.Partial || b.Partial
+	out.TargetMet = a.TargetMet || b.TargetMet
 	out.Err = a.Err
 	if out.Err == nil {
 		out.Err = b.Err
@@ -72,12 +107,36 @@ func Merge(a, b Result) Result {
 			out.FailuresByYear[i] += short[len(short)-1]
 		}
 	}
-	out.CauseCounts = make(map[string]int, len(a.CauseCounts)+len(b.CauseCounts))
-	for k, v := range a.CauseCounts {
-		out.CauseCounts[k] += v
+	if a.Weighted || b.Weighted {
+		aw, bw := a.weightedView(), b.weightedView()
+		out.Weighted = true
+		out.FailWeight = aw.FailWeight + bw.FailWeight
+		out.FailWeightSq = aw.FailWeightSq + bw.FailWeightSq
+		longW, shortW := aw.FailWeightByYear, bw.FailWeightByYear
+		if len(shortW) > len(longW) {
+			longW, shortW = shortW, longW
+		}
+		out.FailWeightByYear = append([]float64(nil), longW...)
+		for i := range out.FailWeightByYear {
+			switch {
+			case i < len(shortW):
+				out.FailWeightByYear[i] += shortW[i]
+			case len(shortW) > 0:
+				out.FailWeightByYear[i] += shortW[len(shortW)-1]
+			}
+		}
 	}
-	for k, v := range b.CauseCounts {
-		out.CauseCounts[k] += v
+	// Rebuild CauseCounts only when at least one side carries it:
+	// unconditional rebuilding used to hand a merge of empty results a
+	// non-nil empty map, making it compare unequal to a fresh zero value.
+	if a.CauseCounts != nil || b.CauseCounts != nil {
+		out.CauseCounts = make(map[string]int, len(a.CauseCounts)+len(b.CauseCounts))
+		for k, v := range a.CauseCounts {
+			out.CauseCounts[k] += v
+		}
+		for k, v := range b.CauseCounts {
+			out.CauseCounts[k] += v
+		}
 	}
 	// Forensics merge only when at least one side carries it, so a merge of
 	// forensics-free results keeps nil fields (and DeepEqual-based golden
@@ -163,6 +222,9 @@ func RunAdaptiveContext(ctx context.Context, opt AdaptiveOptions, pol Policy) Re
 			break
 		}
 	}
+	// Converged vs gave up: reaching MaxTrials with too few failures
+	// used to be indistinguishable from hitting the target.
+	total.TargetMet = total.Failures >= opt.TargetFailures
 	if len(total.Exemplars) > opt.MaxExemplars {
 		// Batches already arrive in batch order; within a batch the
 		// exemplars are (Worker, Trial)-sorted, so truncation keeps the

@@ -41,6 +41,12 @@ func (e ChunkEnvelope) Validate() error {
 		return fmt.Errorf("faultsim: chunk %d result is partial (%d/%d trials)", e.Chunk, e.Result.Trials, e.Trials)
 	case e.Result.Trials != e.Trials:
 		return fmt.Errorf("faultsim: chunk %d result has %d trials, envelope claims %d", e.Chunk, e.Result.Trials, e.Trials)
+	case e.Result.FailWeight < 0 || e.Result.FailWeightSq < 0:
+		return fmt.Errorf("faultsim: chunk %d carries negative importance weights", e.Chunk)
+	case !e.Result.Weighted && (e.Result.FailWeight != 0 || e.Result.FailWeightSq != 0 || len(e.Result.FailWeightByYear) != 0):
+		return fmt.Errorf("faultsim: chunk %d carries importance weights without the Weighted flag", e.Chunk)
+	case e.Result.Weighted && e.Result.FailWeight > 0 && e.Result.FailWeightSq == 0:
+		return fmt.Errorf("faultsim: chunk %d has positive FailWeight with zero FailWeightSq", e.Chunk)
 	}
 	return nil
 }

@@ -176,6 +176,28 @@ type Result struct {
 	// Exemplars holds the first MaxExemplars forensic records in
 	// deterministic (Worker, Trial) order. Nil unless Options.Forensics.
 	Exemplars []Forensic
+	// Weighted marks an importance-sampled result (internal/rare):
+	// trials were drawn under a biased fault-arrival measure and each
+	// failing trial carries a likelihood-ratio weight. Failures still
+	// counts failing trials, but the probability estimate comes from
+	// FailWeight, and CI95 switches to the weighted-sample interval.
+	Weighted bool
+	// FailWeight is the sum of likelihood-ratio weights over failing
+	// trials (for a plain run this would equal Failures, every weight
+	// being one). Zero unless Weighted.
+	FailWeight float64
+	// FailWeightSq is the sum of squared likelihood-ratio weights over
+	// failing trials; it drives the weighted-sample variance and the
+	// effective sample size. Zero unless Weighted.
+	FailWeightSq float64
+	// FailWeightByYear is the weighted analogue of FailuresByYear
+	// (cumulative). Nil unless Weighted.
+	FailWeightByYear []float64
+	// TargetMet reports, for adaptive runs (RunAdaptive), that the
+	// failure target was reached before the trial cap — i.e. the run
+	// converged rather than gave up at MaxTrials. Always false for
+	// fixed-budget runs.
+	TargetMet bool
 	// Partial reports that the run was cancelled before all requested
 	// trials completed; the statistics cover the completed trials only
 	// and remain unbiased (trials are independent).
@@ -191,32 +213,132 @@ func (r Result) Probability() float64 {
 	if r.Trials == 0 {
 		return 0
 	}
+	if r.Weighted {
+		return r.FailWeight / float64(r.Trials)
+	}
 	return float64(r.Failures) / float64(r.Trials)
 }
 
 // ProbabilityByYear returns the cumulative failure probability by the end
 // of year y (1-based).
 func (r Result) ProbabilityByYear(y int) float64 {
-	if r.Trials == 0 || y < 1 || y > len(r.FailuresByYear) {
+	if r.Trials == 0 || y < 1 {
+		return 0
+	}
+	if r.Weighted {
+		if y > len(r.FailWeightByYear) {
+			return 0
+		}
+		return r.FailWeightByYear[y-1] / float64(r.Trials)
+	}
+	if y > len(r.FailuresByYear) {
 		return 0
 	}
 	return float64(r.FailuresByYear[y-1]) / float64(r.Trials)
 }
 
+// zeroFailUpper95 is -ln(0.025): the exact 95% one-sided upper bound on
+// np when zero failures are observed ((1-p)^n >= 0.025), the "rule of
+// three" constant at the 97.5th percentile so it composes with the
+// two-sided intervals used elsewhere.
+const zeroFailUpper95 = 3.6888794541139363
+
 // CI95 returns the half-width of the 95% confidence interval on
-// Probability (normal approximation).
+// Probability. For counting runs it is the Wilson score half-width —
+// which, unlike the normal approximation it replaced, stays positive and
+// calibrated at low counts — and when no failures were observed at all it
+// returns the rule-of-three upper bound (~3.7/Trials), so a zero-failure
+// run reports a resolvable bound instead of the old "± 0". For weighted
+// (importance-sampled) runs it is the weighted-sample interval
+// 1.96·sqrt(Var̂/Trials) over the per-trial weight observations. The only
+// zero return is the degenerate Trials == 0.
+//
+// Note the Wilson interval is centered at (p + z²/2n)/(1 + z²/n), a hair
+// above the point estimate; callers printing "p ± CI95()" overstate the
+// lower edge slightly, conservatively.
 func (r Result) CI95() float64 {
 	if r.Trials == 0 {
 		return 0
 	}
-	p := r.Probability()
-	return 1.96 * math.Sqrt(p*(1-p)/float64(r.Trials))
+	n := float64(r.Trials)
+	if r.Failures == 0 {
+		// Observed nothing: an interval around 0 is meaningless, an upper
+		// bound is not. Applies to weighted runs too — biased sampling
+		// inflates failure draws, so the unweighted zero-count bound is
+		// conservative for the unbiased probability.
+		u := zeroFailUpper95 / n
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	if r.Weighted {
+		mean := r.FailWeight / n
+		if r.Trials < 2 {
+			return mean
+		}
+		variance := (r.FailWeightSq - r.FailWeight*r.FailWeight/n) / (n - 1)
+		if variance <= 0 {
+			// Every trial failed with an identical weight; the sample
+			// variance cannot see the estimator's spread, so report the
+			// mean itself rather than a false zero.
+			return mean
+		}
+		return 1.96 * math.Sqrt(variance/n)
+	}
+	const z = 1.96
+	p := float64(r.Failures) / n
+	z2 := z * z
+	return z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / (1 + z2/n)
 }
 
-// String renders the result in one line.
+// ESS returns the effective sample size of a weighted result's failing
+// trials, FailWeight²/FailWeightSq: the number of equally-weighted
+// failures carrying the same statistical information. Far below Failures
+// means the weights are ragged and the estimate leans on few trials. For
+// plain results it is simply Failures.
+func (r Result) ESS() float64 {
+	if !r.Weighted {
+		return float64(r.Failures)
+	}
+	if r.FailWeightSq <= 0 {
+		return 0
+	}
+	return r.FailWeight * r.FailWeight / r.FailWeightSq
+}
+
+// EffectiveTrials returns how many naive Monte Carlo trials would be
+// needed to match this result's variance on Probability — the speedup
+// metric of the rare-event engine. For plain results it equals Trials.
+func (r Result) EffectiveTrials() float64 {
+	if !r.Weighted || r.Trials < 2 {
+		return float64(r.Trials)
+	}
+	n := float64(r.Trials)
+	variance := (r.FailWeightSq - r.FailWeight*r.FailWeight/n) / (n - 1)
+	if variance <= 0 {
+		return n
+	}
+	p := r.Probability()
+	return n * p * (1 - p) / variance
+}
+
+// String renders the result in one line. Zero-failure runs print the
+// rule-of-three upper bound rather than a misleading "0 ± 0"; weighted
+// runs are tagged IS and carry their effective sample size.
 func (r Result) String() string {
-	s := fmt.Sprintf("%s: P(fail,7y) = %.3g ± %.2g (%d/%d trials)",
-		r.Policy, r.Probability(), r.CI95(), r.Failures, r.Trials)
+	var s string
+	switch {
+	case r.Trials > 0 && r.Failures == 0:
+		s = fmt.Sprintf("%s: P(fail,7y) = 0 (< %.2g at 95%%) (0/%d trials)",
+			r.Policy, r.CI95(), r.Trials)
+	case r.Weighted:
+		s = fmt.Sprintf("%s: P(fail,7y) = %.3g ± %.2g (IS, %d/%d trials, ESS %.1f)",
+			r.Policy, r.Probability(), r.CI95(), r.Failures, r.Trials, r.ESS())
+	default:
+		s = fmt.Sprintf("%s: P(fail,7y) = %.3g ± %.2g (%d/%d trials)",
+			r.Policy, r.Probability(), r.CI95(), r.Failures, r.Trials)
+	}
 	if r.Partial {
 		s += " [partial]"
 	}

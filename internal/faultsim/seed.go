@@ -16,6 +16,8 @@ package faultsim
 const (
 	batchStreamBase uint64 = 1 << 40
 	chunkStreamBase uint64 = 1 << 41
+	rareStreamBase  uint64 = 1 << 42
+	splitStreamBase uint64 = 1 << 43
 )
 
 // deriveSeed maps (base seed, stream index) to an RNG seed using the
@@ -40,4 +42,19 @@ func deriveSeed(base int64, stream uint64) int64 {
 // chunk space is disjoint from worker and adaptive-batch streams.
 func ChunkSeed(base int64, chunk int) int64 {
 	return deriveSeed(base, chunkStreamBase+uint64(chunk))
+}
+
+// RareStreamSeed derives the per-worker RNG seed of the importance
+// sampling engine (internal/rare). The space is disjoint from the plain
+// engine's worker streams so a biased and a naive run sharing a base
+// seed draw decorrelated fault histories.
+func RareStreamSeed(base int64, worker int) int64 {
+	return deriveSeed(base, rareStreamBase+uint64(worker))
+}
+
+// SplitStreamSeed derives the RNG seed of one multilevel-splitting stage
+// (internal/rare). Stages resample trajectory suffixes, so each needs
+// its own stream, disjoint from every other seed space.
+func SplitStreamSeed(base int64, stage int) int64 {
+	return deriveSeed(base, splitStreamBase+uint64(stage))
 }

@@ -81,6 +81,8 @@ func RunChunk(ctx context.Context, r *ReliabilitySpec, chunk int, runID string, 
 		Workers:            r.Workers,
 		RunID:              runID,
 		Progress:           progress,
+		RareEvent:          r.RareEvent,
+		BiasFactor:         r.BiasFactor,
 	}
 	return citadel.SimulateReliabilityContext(ctx, opts, scheme), nil
 }

@@ -57,6 +57,15 @@ type ReliabilitySpec struct {
 	// DefaultCheckpointTrials, clamped to Trials). Part of the content
 	// key: a different chunk layout is a different deterministic run.
 	CheckpointTrials int `json:"checkpointTrials"`
+	// RareEvent runs every chunk through the importance-sampled
+	// rare-event engine; the campaign result is Weighted. omitempty keeps
+	// the content keys of pre-existing plain campaigns unchanged.
+	RareEvent bool `json:"rareEvent,omitempty"`
+	// BiasFactor is the rare-event rate inflation (normalized to
+	// citadel.DefaultBiasFactor when RareEvent is set; must be >= 1).
+	// Part of the content key: a different bias is a different
+	// deterministic run.
+	BiasFactor float64 `json:"biasFactor,omitempty"`
 }
 
 // PerformanceSpec configures a timing/power run (base plus protected
@@ -107,6 +116,9 @@ func (s Spec) Normalize() Spec {
 		}
 		if r.CheckpointTrials > r.Trials {
 			r.CheckpointTrials = r.Trials
+		}
+		if r.RareEvent && r.BiasFactor == 0 {
+			r.BiasFactor = citadel.DefaultBiasFactor
 		}
 		s.Reliability = &r
 	case s.Performance != nil:
@@ -187,6 +199,12 @@ func (s Spec) Validate() error {
 		}
 		if r.TSVFIT < 0 || r.LifetimeYears < 0 || r.ScrubHours < 0 {
 			return fmt.Errorf("jobs: tsvFit, lifetimeYears and scrubHours must be non-negative")
+		}
+		if !r.RareEvent && s.Reliability.BiasFactor != 0 {
+			return fmt.Errorf("jobs: biasFactor requires rareEvent")
+		}
+		if r.RareEvent && r.BiasFactor < 1 {
+			return fmt.Errorf("jobs: biasFactor must be >= 1, got %g", r.BiasFactor)
 		}
 	case KindPerformance:
 		p := n.Performance

@@ -1,0 +1,16 @@
+package rare
+
+import "repro/internal/obs"
+
+// Rare-event engine metrics, exposed by cmd/citadel-server at
+// GET /metrics alongside the plain engine's citadel_faultsim_* family.
+var (
+	mRareTrials = obs.Default().Counter("citadel_rare_trials_total",
+		"Importance-sampled trials completed across all rare-event runs.")
+	mRareFailures = obs.Default().Counter("citadel_rare_failures_total",
+		"Importance-sampled trials that ended in uncorrectable failure (unweighted count).")
+	mRareRunsActive = obs.Default().Gauge("citadel_rare_runs_active",
+		"Rare-event estimator runs currently executing.")
+	mSplitStages = obs.Default().Counter("citadel_rare_split_stages_total",
+		"Multilevel-splitting stages completed.")
+)
