@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test race check stress-jobs stress-cluster bench bench.out bench-check bench-all clean
+.PHONY: all build vet staticcheck test race check stress-jobs stress-cluster stress-stream bench bench.out bench-check bench-all clean
 
 all: check
 
@@ -48,6 +48,14 @@ stress-jobs:
 stress-cluster:
 	$(GO) test -race -run TestChaosCampaign -count=1 -v ./internal/cluster/
 
+# Streaming result-plane stress: 10k SSE subscribers on one campaign with
+# random disconnects and a deliberately slow reader, under the race
+# detector; every survivor must observe the terminal frame and the hub
+# must end with zero subscribers. Skipped by -short; CI runs it as its
+# own job.
+stress-stream:
+	$(GO) test -race -run TestStressStreamSubscribers -count=1 -v -timeout=10m ./internal/api/
+
 check: build vet staticcheck test race
 
 # Engine performance gate: the Monte Carlo trial-loop microbenchmarks
@@ -62,6 +70,9 @@ bench.out:
 	$(GO) test -run xxx -bench 'BenchmarkRareEventTail' ./internal/rare/ >> bench.out
 	$(GO) test -run xxx -bench 'BenchmarkMonteCarloTrialThroughput|BenchmarkFig4StripingReliability' \
 		-benchmem . >> bench.out
+	$(GO) test -run xxx -bench 'BenchmarkBroadcastFanout' -benchmem ./internal/stream/ >> bench.out
+	$(GO) test -run xxx -bench 'BenchmarkJobPoll|BenchmarkAccessSlices' -benchmem \
+		./internal/api/ ./internal/perfsim/ >> bench.out
 
 bench: bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_faultsim.json < bench.out

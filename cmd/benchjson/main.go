@@ -113,8 +113,10 @@ func main() {
 // throughputUnits are the higher-is-better rates the gate tracks:
 // trials/s is raw engine speed, efftrials/s the rare-event engine's
 // variance-equivalent naive throughput (its whole reason to exist — a
-// bias regression shows up here long before wall-clock moves).
-var throughputUnits = []string{"trials/s", "efftrials/s"}
+// bias regression shows up here long before wall-clock moves),
+// frames/s the SSE hub's fan-out rate, and polls/s the conditional-GET
+// revalidation rate on the job-status route.
+var throughputUnits = []string{"trials/s", "efftrials/s", "frames/s", "polls/s"}
 
 // compareReports gates cur against base: a benchmark regresses when any
 // tracked throughput unit drops more than tolerance below the baseline,

@@ -16,6 +16,7 @@
 //	POST /api/v1/performance   {"benchmark":"mcf","striping":"across-channels"}
 //	POST /api/v1/jobs          async campaign submission (only with -job-dir)
 //	GET  /api/v1/jobs{,/{id}}  job listing / status / result
+//	GET  /api/v1/jobs/{id}/events  live job progress over SSE (only with -job-dir)
 //	DELETE /api/v1/jobs/{id}   cancel a queued or running job
 //	POST /api/v1/cluster/...   worker lease/heartbeat/complete (only with -cluster)
 //	GET  /api/v1/cluster/workers  worker fleet view (only with -cluster)
@@ -52,6 +53,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -69,6 +71,7 @@ func main() {
 		jobQueue      = flag.Int("job-queue", 64, "bounded job queue depth (full queue answers 429)")
 		jobCacheMB    = flag.Int64("job-cache-mb", 256, "content-addressed result cache cap in MiB (LRU eviction past it)")
 		clusterMode   = flag.Bool("cluster", false, "distribute reliability campaigns to citadel-worker processes (requires -job-dir)")
+		streamSubs    = flag.Int("stream-max-subscribers", 0, "SSE subscriber cap across all jobs; excess connections get 429 (0 = default 16384)")
 		leaseTTL      = flag.Duration("lease-ttl", 15*time.Second, "cluster: chunk lease TTL (workers heartbeat at TTL/3)")
 		noWorkerGrace = flag.Duration("no-worker-grace", 10*time.Second, "cluster: how long a campaign waits with zero live workers before running locally")
 	)
@@ -105,6 +108,7 @@ func main() {
 	}
 
 	var orch *jobs.Orchestrator
+	var hub *stream.Hub
 	if *jobDir != "" {
 		st, err := store.Open(*jobDir, store.Options{
 			MaxBytes: *jobCacheMB << 20,
@@ -113,10 +117,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("job store %s: %v", *jobDir, err)
 		}
+		// The SSE hub rides along with the job routes: every job state
+		// transition and progress checkpoint is published once and fanned
+		// out to GET /api/v1/jobs/{id}/events subscribers.
+		hub = stream.New(stream.Options{
+			MaxSubscribers: *streamSubs,
+			Logf:           log.Printf,
+		})
 		opts := jobs.Options{
 			Store:      st,
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,
+			Stream:     hub,
 			Logf:       log.Printf,
 		}
 		if coord != nil {
@@ -136,6 +148,7 @@ func main() {
 		Trace:         rec,
 		Jobs:          orch,
 		Cluster:       coord,
+		Stream:        hub,
 	})
 
 	// baseCtx underlies every request context: cancelling it (when the
@@ -171,7 +184,10 @@ func main() {
 	stop() // restore default signal handling: a second ^C kills immediately
 
 	log.Printf("shutdown: draining %d in-flight simulations (up to %s)", apiSrv.InFlight(), *drainTimeout)
-	apiSrv.Drain() // readyz now reports 503 so load balancers stop routing here
+	// readyz now reports 503 so load balancers stop routing here, and
+	// every SSE subscriber receives a terminal drain event instead of a
+	// silently dying connection.
+	apiSrv.Drain()
 
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancelDrain()

@@ -14,6 +14,8 @@ package api
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +25,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +35,8 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 // Server-level metrics, exposed at GET /metrics alongside the engine
@@ -46,7 +52,27 @@ var (
 		"Simulation requests shed with 429 at capacity.")
 	mInFlight = obs.Default().Gauge("citadel_api_inflight_runs",
 		"Simulation runs currently executing.")
+	mNotModified = obs.Default().Counter("citadel_api_not_modified_total",
+		"Conditional GETs answered 304 from the content-key ETag, body skipped.")
 )
+
+// etagMatches reports whether an If-None-Match header value matches the
+// given strong ETag. Clients may send a comma-separated list or "*".
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, c := range strings.Split(ifNoneMatch, ",") {
+		c = strings.TrimSpace(c)
+		// A weak validator still matches a strong ETag for GET
+		// revalidation (RFC 9110 §8.8.3.2 weak comparison).
+		c = strings.TrimPrefix(c, "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
 
 // Options tunes the server's robustness envelope. The zero value selects
 // production-safe defaults.
@@ -86,6 +112,15 @@ type Options struct {
 	// routes, they bypass the simulation-slot semaphore — a heartbeat
 	// stalled behind a saturated sim pool would expire healthy leases.
 	Cluster *cluster.Coordinator
+	// Stream, when non-nil (and Jobs is set), mounts the SSE route
+	// GET /api/v1/jobs/{id}/events (see stream.go). The orchestrator
+	// must publish into the same hub (jobs.Options.Stream) or
+	// subscribers will see only keepalives. Drain broadcasts a terminal
+	// drain event to every subscriber.
+	Stream *stream.Hub
+	// StreamKeepAlive is the SSE comment-frame interval that keeps idle
+	// streaming connections from being reaped by proxies (default 15s).
+	StreamKeepAlive time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -104,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
+	}
+	if o.StreamKeepAlive <= 0 {
+		o.StreamKeepAlive = 15 * time.Second
 	}
 	return o
 }
@@ -131,9 +169,16 @@ func (s *Server) Capacity() int { return cap(s.sem) }
 func (s *Server) InFlight() int { return len(s.sem) }
 
 // Drain marks the server not-ready (readyz turns 503) so load balancers
-// stop routing new work; in-flight runs continue. cmd/citadel-server
-// calls this on SIGTERM before http.Server.Shutdown.
-func (s *Server) Drain() { s.draining.Store(true) }
+// stop routing new work; in-flight runs continue. With a stream hub it
+// also broadcasts a terminal drain event so every SSE subscriber learns
+// the server is going away instead of watching a silent connection die.
+// cmd/citadel-server calls this on SIGTERM before http.Server.Shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	if s.opts.Stream != nil {
+		s.opts.Stream.Drain(map[string]any{"status": "draining"})
+	}
+}
 
 // Handler returns the routed http.Handler wrapped in panic recovery.
 //
@@ -171,6 +216,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
 		mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
 		mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+		if s.opts.Stream != nil {
+			mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+		}
 	}
 	if s.opts.Cluster != nil {
 		mux.HandleFunc("POST "+cluster.LeasePath, s.handleClusterLease)
@@ -190,7 +238,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s.recoverer(mux)
+	// Gzip sits inside the recoverer: large JSON results and /metrics
+	// scrapes compress when the client accepts it, while event streams
+	// and small bodies pass through (see obs.GzipHandler).
+	return s.recoverer(obs.GzipHandler(mux))
 }
 
 // statusWriter tracks whether a response has been started, so the panic
@@ -208,6 +259,14 @@ func (sw *statusWriter) WriteHeader(code int) {
 func (sw *statusWriter) Write(b []byte) (int, error) {
 	sw.wrote = true
 	return sw.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming flushes (SSE) through the recoverer.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		sw.wrote = true
+		f.Flush()
+	}
 }
 
 // recoverer converts handler panics into logged 500s instead of killing
@@ -332,6 +391,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.opts.Cluster != nil {
 		body["liveWorkers"] = s.opts.Cluster.LiveWorkers()
 	}
+	if s.opts.Stream != nil {
+		body["streamSubscribers"] = s.opts.Stream.Subscribers()
+	}
 	s.writeJSON(w, http.StatusOK, body)
 }
 
@@ -344,7 +406,10 @@ func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"schemes": names})
 }
 
-func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+// benchmarksBody renders the static benchmark catalog once and derives a
+// strong ETag from its content hash, so repeat polls revalidate with 304
+// instead of re-marshalling the same bytes.
+var benchmarksBody = sync.OnceValues(func() ([]byte, string) {
 	type bench struct {
 		Name  string  `json:"name"`
 		Suite string  `json:"suite"`
@@ -356,7 +421,26 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	for _, b := range profiles {
 		out = append(out, bench{Name: b.Name, Suite: b.Suite.String(), MPKI: b.MPKI, WBPKI: b.WBPKI})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
+	body, err := json.Marshal(map[string]any{"benchmarks": out})
+	if err != nil {
+		panic(err) // static catalog of plain structs; cannot fail
+	}
+	sum := sha256.Sum256(body)
+	return append(body, '\n'), store.ETag(hex.EncodeToString(sum[:]))
+})
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	body, etag := benchmarksBody()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=60")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		mNotModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 func (s *Server) handleOverhead(w http.ResponseWriter, _ *http.Request) {

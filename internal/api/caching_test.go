@@ -1,0 +1,248 @@
+package api
+
+import (
+	"compress/gzip"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/store"
+)
+
+// condGet performs a GET with an optional If-None-Match header and
+// returns the response with its body consumed into out (when non-nil the
+// body must be empty for 304s, so out is only decoded on 200).
+func condGet(t *testing.T, url, ifNoneMatch string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func waitTerminal(t *testing.T, base, id string) *http.Response {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var got JobResponse
+		resp := getJSON(t, base+"/api/v1/jobs/"+id, &got)
+		if got.Job != nil && got.Job.State.Terminal() {
+			return resp
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, got.Job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestJobStatusETagRoundTrip(t *testing.T) {
+	srv := jobsServer(t, 1, 8)
+	var sub JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", smallJobBody(41), &sub)
+	done := waitTerminal(t, srv.URL, sub.Job.ID)
+
+	etag := done.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("terminal job status has no ETag")
+	}
+	if cc := done.Header.Get("Cache-Control"); !strings.Contains(cc, "public") {
+		t.Fatalf("terminal Cache-Control = %q, want public", cc)
+	}
+
+	// Revalidation: the stored ETag answers 304 with an empty body.
+	resp := condGet(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET status = %d, want 304", resp.StatusCode)
+	}
+	if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(body))
+	}
+
+	// A stale validator still gets the full representation.
+	resp = condGet(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, `"stale"`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale conditional GET status = %d, want 200", resp.StatusCode)
+	}
+
+	// A different spec produces a different content key, so its ETag must
+	// not collide: the validator really is derived from the content.
+	var sub2 JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", smallJobBody(42), &sub2)
+	done2 := waitTerminal(t, srv.URL, sub2.Job.ID)
+	if etag2 := done2.Header.Get("ETag"); etag2 == "" || etag2 == etag {
+		t.Fatalf("distinct jobs share ETag %q", etag2)
+	}
+}
+
+func TestJobStatusRunningNotCached(t *testing.T) {
+	srv := jobsServer(t, 1, 8)
+	var sub JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", longJobBody(43), &sub)
+
+	var got JobResponse
+	resp := getJSON(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, &got)
+	if got.Job.State.Terminal() {
+		t.Skip("job finished before the running-state poll")
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("running Cache-Control = %q, want no-store", cc)
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		t.Fatalf("running job has ETag %q — only terminal states are immutable", etag)
+	}
+	deleteJSON(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, nil)
+}
+
+func TestJobListNoStore(t *testing.T) {
+	srv := jobsServer(t, 1, 8)
+	var body map[string]any
+	resp := getJSON(t, srv.URL+"/api/v1/jobs", &body)
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("list Cache-Control = %q, want no-store", cc)
+	}
+}
+
+func TestBenchmarksETag(t *testing.T) {
+	srv := testServer(t)
+	resp := condGet(t, srv.URL+"/api/v1/benchmarks", "")
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("status = %d, etag = %q", resp.StatusCode, etag)
+	}
+	resp2 := condGet(t, srv.URL+"/api/v1/benchmarks", etag)
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional status = %d, want 304", resp2.StatusCode)
+	}
+	// Weak-form validators from intermediaries revalidate too.
+	resp3 := condGet(t, srv.URL+"/api/v1/benchmarks", "W/"+etag)
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak conditional status = %d, want 304", resp3.StatusCode)
+	}
+}
+
+// TestMetricsGzip pins the middleware integration: a metrics scrape —
+// the chattiest endpoint — compresses when asked, and stays plain for
+// clients that do not accept gzip.
+func TestMetricsGzip(t *testing.T) {
+	srv := testServer(t)
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	// Disable the transport's transparent decompression so the header is
+	// observable.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", ce)
+	}
+	gr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "citadel_api_requests_total") {
+		t.Fatal("decompressed metrics body missing expected series")
+	}
+
+	resp2, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ce := resp2.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("uncompressed request got Content-Encoding %q", ce)
+	}
+}
+
+// cachedJobServer builds a handler whose job store is pre-seeded with a
+// large result under the spec's own content key, so the submitted job
+// completes instantly as a cache hit carrying a payload big enough to
+// make body marshalling the dominant cost of a full poll.
+func cachedJobServer(b *testing.B, payloadBytes int) (http.Handler, string) {
+	b.Helper()
+	st, err := store.Open(b.TempDir(), store.Options{Logf: quietLogf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := jobs.Spec{Reliability: &jobs.ReliabilitySpec{
+		Scheme: "Citadel", Trials: 2000, CheckpointTrials: 500, Workers: 1, Seed: 7, TSVFIT: 1430,
+	}}
+	key, err := spec.Normalize().Key()
+	if err != nil {
+		b.Fatal(err)
+	}
+	big := []byte(`{"pad":"` + strings.Repeat("x", payloadBytes) + `"}`)
+	if err := st.PutResult(key, big); err != nil {
+		b.Fatal(err)
+	}
+	orch := jobs.New(jobs.Options{Store: st, Workers: 1, QueueDepth: 4, Logf: quietLogf})
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		orch.Close(ctx)
+	})
+	job, err := orch.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !job.State.Terminal() {
+		b.Fatalf("pre-seeded job state = %s, want a cache-hit terminal state", job.State)
+	}
+	handler := New(Options{Jobs: orch, Logf: quietLogf}).Handler()
+	return handler, "/api/v1/jobs/" + job.ID
+}
+
+// BenchmarkJobPoll measures the conditional-GET win on the job-status
+// route: "full" re-marshals the terminal job including its 256KiB result
+// on every poll, "not-modified" answers 304 from the content-key ETag
+// without touching the body. polls/s is the unit cmd/benchjson gates;
+// the 304 path is required to be >=10x the full path.
+func BenchmarkJobPoll(b *testing.B) {
+	handler, path := cachedJobServer(b, 256<<10)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	etag := rec.Header().Get("ETag")
+	if rec.Code != http.StatusOK || etag == "" {
+		b.Fatalf("probe status = %d, etag = %q", rec.Code, etag)
+	}
+
+	poll := func(b *testing.B, ifNoneMatch string, wantStatus int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			if ifNoneMatch != "" {
+				req.Header.Set("If-None-Match", ifNoneMatch)
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != wantStatus {
+				b.Fatalf("status = %d, want %d", rec.Code, wantStatus)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "polls/s")
+	}
+	b.Run("full", func(b *testing.B) { poll(b, "", http.StatusOK) })
+	b.Run("not-modified", func(b *testing.B) { poll(b, etag, http.StatusNotModified) })
+}

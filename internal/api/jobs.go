@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/jobs"
+	"repro/internal/store"
 )
 
 // Job routes: asynchronous campaign submission over the orchestrator.
@@ -141,6 +142,8 @@ func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
 		j.Result = nil
 		out = append(out, JobResponse{Job: j})
 	}
+	// The listing mutates as jobs progress — never let a cache serve it.
+	w.Header().Set("Cache-Control", "no-store")
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"jobs":       out,
 		"queueDepth": s.opts.Jobs.QueueDepth(),
@@ -154,6 +157,22 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
+	}
+	if job.State.Terminal() {
+		// A finished job never changes again and its result bytes are
+		// identified by the spec's content key, so state+key is a strong
+		// validator: pollers revalidate with If-None-Match and the 304
+		// path skips marshalling the (potentially large) result payload.
+		etag := store.ETag(string(job.State) + "-" + job.Key)
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "public, max-age=3600")
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			mNotModified.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	} else {
+		w.Header().Set("Cache-Control", "no-store")
 	}
 	s.writeJSON(w, http.StatusOK, JobResponse{Job: job})
 }

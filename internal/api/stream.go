@@ -1,0 +1,87 @@
+package api
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// handleJobEvents streams job snapshots over Server-Sent Events. The
+// response is a sequence of frames rendered once by the hub and shared
+// across every subscriber; this handler only writes pre-built bytes and
+// flushes. The stream ends when the job reaches a terminal state (the
+// terminal frame is delivered first), when the hub evicts the client for
+// not draining, or when the client disconnects.
+//
+// A reconnecting client sends Last-Event-ID (the standard EventSource
+// behaviour) and is immediately re-sent the latest snapshot if it missed
+// anything; intermediate progress snapshots are not replayed — each
+// snapshot supersedes the last, so only the newest matters.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.opts.Jobs.Status(id); !ok {
+		s.writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var lastEventID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		lastEventID, _ = strconv.ParseUint(v, 10, 64)
+	}
+	sub, err := s.opts.Stream.Subscribe(id, lastEventID)
+	if err != nil {
+		if errors.Is(err, stream.ErrSubscriberLimit) {
+			// Same shed-don't-queue posture as the sim semaphore: tell
+			// the client when to come back instead of holding the fd.
+			w.Header().Set("Retry-After", strconv.Itoa(2+rand.Intn(5)))
+			s.writeError(w, http.StatusTooManyRequests, "subscriber limit reached")
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "subscribe: %v", err)
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // reverse-proxy buffering defeats push
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	keepalive := time.NewTicker(s.opts.StreamKeepAlive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case f, ok := <-sub.Frames():
+			if !ok {
+				return // evicted, or terminal frame already consumed
+			}
+			if _, err := w.Write(f.Data); err != nil {
+				return
+			}
+			fl.Flush()
+			if f.Terminal {
+				return
+			}
+		case <-keepalive.C:
+			// Comment frame: ignored by EventSource, keeps proxies and
+			// LB idle timers from reaping a quiet stream.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// streamServer builds a test server with the job routes and the SSE hub
+// wired together the way cmd/citadel-server does: the orchestrator
+// publishes into the hub, the API serves it at /api/v1/jobs/{id}/events.
+func streamServer(t *testing.T, hubOpts stream.Options, workers, depth int) (*httptest.Server, *stream.Hub, *Server) {
+	t.Helper()
+	if hubOpts.Logf == nil {
+		hubOpts.Logf = quietLogf
+	}
+	hub := stream.New(hubOpts)
+	st, err := store.Open(t.TempDir(), store.Options{Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := jobs.New(jobs.Options{Store: st, Workers: workers, QueueDepth: depth, Stream: hub, Logf: quietLogf})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		orch.Close(ctx)
+	})
+	apiSrv := New(Options{Jobs: orch, Stream: hub, StreamKeepAlive: 50 * time.Millisecond, Logf: quietLogf})
+	srv := httptest.NewServer(apiSrv.Handler())
+	t.Cleanup(srv.Close)
+	return srv, hub, apiSrv
+}
+
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readEvent parses one SSE frame, skipping comment keepalives.
+func readEvent(br *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	got := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if got {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"): // keepalive comment
+		case strings.HasPrefix(line, "id: "):
+			ev.id, got = strings.TrimPrefix(line, "id: "), true
+		case strings.HasPrefix(line, "event: "):
+			ev.event, got = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "data: "):
+			ev.data, got = strings.TrimPrefix(line, "data: "), true
+		}
+	}
+}
+
+// openEvents connects to the job's SSE stream.
+func openEvents(t *testing.T, base, id string, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestJobEventsStreamToTerminal(t *testing.T) {
+	srv, _, _ := streamServer(t, stream.Options{}, 1, 8)
+	var sub JobResponse
+	if resp := postJSON(t, srv.URL+"/api/v1/jobs", smallJobBody(31), &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	resp := openEvents(t, srv.URL, sub.Job.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("SSE response got Content-Encoding %q — stream must not be compressed", ce)
+	}
+	br := bufio.NewReader(resp.Body)
+	var last sseEvent
+	for {
+		ev, err := readEvent(br)
+		if err != nil {
+			break // server closes the stream after the terminal frame
+		}
+		last = ev
+	}
+	if last.event != "done" {
+		t.Fatalf("final event = %q (data %q), want done", last.event, last.data)
+	}
+	if !strings.Contains(last.data, `"state":"done"`) {
+		t.Fatalf("terminal snapshot missing done state: %q", last.data)
+	}
+}
+
+func TestJobEventsResumeLastEventID(t *testing.T) {
+	srv, _, _ := streamServer(t, stream.Options{}, 1, 8)
+	var sub JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", smallJobBody(32), &sub)
+
+	// Let the job finish first so the topic is terminal.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var got JobResponse
+		getJSON(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, &got)
+		if got.Job.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.Job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Fresh connection: the latest (terminal) snapshot is replayed, then
+	// the stream closes.
+	resp := openEvents(t, srv.URL, sub.Job.ID, "")
+	br := bufio.NewReader(resp.Body)
+	ev, err := readEvent(br)
+	if err != nil {
+		t.Fatalf("reading replayed terminal event: %v", err)
+	}
+	if ev.event != "done" {
+		t.Fatalf("replayed event = %q, want done", ev.event)
+	}
+	if _, err := readEvent(br); err == nil {
+		t.Fatal("stream stayed open past the terminal frame")
+	}
+
+	// Reconnect confirming that event ID: nothing to replay, immediate
+	// close — the client already has the final state.
+	resp2 := openEvents(t, srv.URL, sub.Job.ID, ev.id)
+	br2 := bufio.NewReader(resp2.Body)
+	if ev2, err := readEvent(br2); err == nil {
+		t.Fatalf("resume with Last-Event-ID=%s replayed event %q", ev.id, ev2.event)
+	}
+}
+
+func TestJobEventsNotFound(t *testing.T) {
+	srv, _, _ := streamServer(t, stream.Options{}, 1, 8)
+	resp := openEvents(t, srv.URL, "nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestJobEventsSubscriberLimit(t *testing.T) {
+	srv, _, _ := streamServer(t, stream.Options{MaxSubscribers: 1}, 1, 8)
+	var sub JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", longJobBody(33), &sub)
+
+	resp := openEvents(t, srv.URL, sub.Job.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first subscriber status = %d", resp.StatusCode)
+	}
+	// Hold the first stream open: read its initial frame.
+	br := bufio.NewReader(resp.Body)
+	if _, err := readEvent(br); err != nil {
+		t.Fatalf("first subscriber frame: %v", err)
+	}
+
+	resp2 := openEvents(t, srv.URL, sub.Job.ID, "")
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second subscriber status = %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+	deleteJSON(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, nil)
+}
+
+func TestDrainSendsTerminalEvent(t *testing.T) {
+	srv, hub, apiSrv := streamServer(t, stream.Options{}, 1, 8)
+	var sub JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", longJobBody(34), &sub)
+
+	resp := openEvents(t, srv.URL, sub.Job.ID, "")
+	br := bufio.NewReader(resp.Body)
+	if _, err := readEvent(br); err != nil {
+		t.Fatalf("initial frame: %v", err)
+	}
+
+	apiSrv.Drain()
+	var last sseEvent
+	for {
+		ev, err := readEvent(br)
+		if err != nil {
+			break
+		}
+		last = ev
+	}
+	if last.event != stream.DrainEvent {
+		t.Fatalf("final event = %q, want %q", last.event, stream.DrainEvent)
+	}
+	if got := hub.Subscribers(); got != 0 {
+		t.Fatalf("hub.Subscribers() after drain = %d, want 0", got)
+	}
+	deleteJSON(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, nil)
+}
+
+func TestReadyzReportsStreamSubscribers(t *testing.T) {
+	srv, _, _ := streamServer(t, stream.Options{}, 1, 8)
+	var sub JobResponse
+	postJSON(t, srv.URL+"/api/v1/jobs", longJobBody(35), &sub)
+	resp := openEvents(t, srv.URL, sub.Job.ID, "")
+	br := bufio.NewReader(resp.Body)
+	if _, err := readEvent(br); err != nil {
+		t.Fatalf("initial frame: %v", err)
+	}
+
+	var body map[string]any
+	getJSON(t, srv.URL+"/api/v1/readyz", &body)
+	if n, ok := body["streamSubscribers"].(float64); !ok || n != 1 {
+		t.Fatalf("readyz streamSubscribers = %v, want 1", body["streamSubscribers"])
+	}
+	deleteJSON(t, srv.URL+"/api/v1/jobs/"+sub.Job.ID, nil)
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 // Submission errors.
@@ -86,6 +87,13 @@ type Options struct {
 	// It is best-effort: if it fails, the campaign falls back to local
 	// in-process execution from its last committed chunk.
 	ChunkExec ChunkExecutor
+	// Stream, when non-nil, receives a Job snapshot on every lifecycle
+	// transition and progress update, published under the job's ID:
+	// non-terminal snapshots as "progress" events, terminal ones named
+	// by their state (done/failed/cancelled). The hub marshals each
+	// snapshot once and fans the same frame out to every SSE subscriber
+	// (GET /api/v1/jobs/{id}/events).
+	Stream *stream.Hub
 	// Logf sinks orchestrator logs (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -199,6 +207,25 @@ func (j *job) snapshot() *Job {
 		TrialsDone: j.trialsDone, TrialsTarget: j.trialsTgt, Failures: j.failures,
 		Result: j.payload, Error: j.errMsg,
 		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// publish streams a snapshot of j to the hub, if one is wired: one JSON
+// marshal per snapshot, fanned out to every subscriber of the job's
+// topic. The event name is "progress" for non-terminal snapshots and
+// the state name for terminal ones, so SSE clients can listen for the
+// outcome they care about.
+func (o *Orchestrator) publish(j *job) {
+	if o.opts.Stream == nil {
+		return
+	}
+	snap := j.snapshot()
+	event := "progress"
+	if snap.State.Terminal() {
+		event = string(snap.State)
+	}
+	if err := o.opts.Stream.Publish(j.id, event, snap, snap.State.Terminal()); err != nil {
+		o.opts.Logf("jobs: job=%s streaming %s event: %v", j.id, event, err)
 	}
 }
 
@@ -340,6 +367,7 @@ func (o *Orchestrator) tryCacheLocked(key string, norm Spec) *Job {
 	mCacheHits.Inc()
 	mCompleted.Inc()
 	o.opts.Logf("jobs: job=%s key=%.12s kind=%s served from cache", j.id, key, norm.Kind)
+	o.publish(j)
 	return j.snapshot()
 }
 
@@ -398,6 +426,7 @@ func (o *Orchestrator) enqueueLocked(key string, norm Spec, cp *checkpoint) *job
 	mQueueDepth.Set(int64(len(o.queue)))
 	o.opts.Logf("jobs: job=%s key=%.12s kind=%s priority=%d queued (resumedChunks=%d)",
 		j.id, key, norm.Kind, norm.Priority, j.chunksDone)
+	o.publish(j)
 	o.cond.Signal()
 	return j
 }
@@ -532,6 +561,7 @@ func (o *Orchestrator) Cancel(id string) error {
 		}
 		mCancelled.Inc()
 		o.opts.Logf("jobs: job=%s cancelled while queued", j.id)
+		o.publish(j)
 		return nil
 	default: // running
 		j.userCancel = true
@@ -647,6 +677,7 @@ func (o *Orchestrator) runJob(j *job) {
 	mRunning.Inc()
 	defer mRunning.Dec()
 	o.opts.Logf("jobs: job=%s key=%.12s kind=%s start", j.id, j.key, j.spec.Kind)
+	o.publish(j)
 
 	var payload any
 	var interrupted bool
@@ -706,6 +737,7 @@ func (o *Orchestrator) finish(j *job, st State, payload json.RawMessage, err err
 		mCancelled.Inc()
 	}
 	o.opts.Logf("jobs: job=%s key=%.12s %s%s", j.id, j.key, st, errSuffix(err))
+	o.publish(j)
 	// Failed campaigns should not resurrect on restart: their checkpoint
 	// would fail the same way again.
 	if st == StateFailed && o.st != nil {
@@ -742,6 +774,7 @@ func (o *Orchestrator) finishInterrupted(j *job) {
 		j.mu.Unlock()
 		mCancelled.Inc()
 		o.opts.Logf("jobs: job=%s key=%.12s cancelled", j.id, j.key)
+		o.publish(j)
 		return
 	}
 	// Shutdown: leave the checkpoint in place and the job formally
@@ -750,6 +783,7 @@ func (o *Orchestrator) finishInterrupted(j *job) {
 	j.state = StateQueued
 	j.mu.Unlock()
 	o.opts.Logf("jobs: job=%s key=%.12s interrupted by shutdown (checkpointed, resumable)", j.id, j.key)
+	o.publish(j)
 }
 
 // persistCheckpoint writes j's checkpoint (total = merge of completed
@@ -830,6 +864,7 @@ func (o *Orchestrator) runReliability(ctx context.Context, j *job) (any, bool, e
 		j.failures = total.Failures
 		j.mu.Unlock()
 		o.persistCheckpoint(j, &total)
+		o.publish(j)
 		return nil
 	}
 	if exec := o.opts.ChunkExec; exec != nil && start < chunks {
@@ -859,6 +894,7 @@ func (o *Orchestrator) runReliability(ctx context.Context, j *job) (any, bool, e
 			j.trialsDone = baseTrials + p.TrialsDone
 			j.failures = baseFailures + p.Failures
 			j.mu.Unlock()
+			o.publish(j)
 		})
 		if err != nil {
 			return nil, false, err

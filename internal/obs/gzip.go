@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// GzipMinBytes is the response size below which GzipHandler sends the
+// body uncompressed: gzip framing plus a pool round-trip costs more than
+// it saves on a few hundred bytes of JSON, and small bodies are the
+// common case (errors, health probes, 304 revalidations).
+const GzipMinBytes = 1 << 10
+
+// gzipPool recycles gzip writers across responses; Reset rebinds a
+// pooled writer to the next connection, so steady-state compression
+// allocates nothing per response.
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// GzipHandler wraps next with conditional gzip response encoding: bodies
+// are compressed when the client sent Accept-Encoding: gzip, the
+// response is at least GzipMinBytes, and the handler is not streaming.
+// Event streams (Content-Type: text/event-stream) and already-encoded
+// responses pass through untouched — compressing SSE would buffer frames
+// the whole point of SSE is to deliver immediately — as does any handler
+// that calls Flush before the size threshold is reached.
+func GzipHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Add("Vary", "Accept-Encoding")
+		gw := &gzipResponseWriter{ResponseWriter: w}
+		defer gw.finish()
+		next.ServeHTTP(gw, r)
+	})
+}
+
+const (
+	gzUndecided   = iota // buffering until the size threshold decides
+	gzPassthrough        // streaming/encoded/bodyless: plain writes
+	gzCompressing        // gzip writer active
+)
+
+// gzipResponseWriter defers the compress-or-not decision until it has
+// seen either GzipMinBytes of body, a streaming signal (event-stream
+// content type, an early Flush), or the end of the handler.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	mode   int
+	status int    // deferred status code (0 = not set yet)
+	buf    []byte // body bytes held while undecided
+	gz     *gzip.Writer
+}
+
+// streamingResponse reports whether the pending response must not be
+// buffered or re-encoded.
+func (g *gzipResponseWriter) streamingResponse() bool {
+	h := g.Header()
+	return strings.HasPrefix(h.Get("Content-Type"), "text/event-stream") ||
+		h.Get("Content-Encoding") != ""
+}
+
+func (g *gzipResponseWriter) WriteHeader(code int) {
+	if g.mode != gzUndecided {
+		g.ResponseWriter.WriteHeader(code)
+		return
+	}
+	g.status = code
+	// Bodyless statuses and streams decide immediately; everything else
+	// waits for the body size.
+	if code == http.StatusNoContent || code == http.StatusNotModified || g.streamingResponse() {
+		g.startPassthrough()
+	}
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) {
+	switch g.mode {
+	case gzPassthrough:
+		return g.ResponseWriter.Write(p)
+	case gzCompressing:
+		return g.gz.Write(p)
+	}
+	if g.streamingResponse() {
+		g.startPassthrough()
+		return g.ResponseWriter.Write(p)
+	}
+	g.buf = append(g.buf, p...)
+	if len(g.buf) >= GzipMinBytes {
+		g.startCompressing()
+	}
+	return len(p), nil
+}
+
+// startPassthrough flushes the deferred status and any buffered bytes
+// uncompressed.
+func (g *gzipResponseWriter) startPassthrough() {
+	g.mode = gzPassthrough
+	if g.status != 0 {
+		g.ResponseWriter.WriteHeader(g.status)
+	}
+	if len(g.buf) > 0 {
+		g.ResponseWriter.Write(g.buf)
+		g.buf = nil
+	}
+}
+
+// startCompressing commits to gzip: headers out, pooled writer bound,
+// buffered prefix re-played through it.
+func (g *gzipResponseWriter) startCompressing() {
+	g.mode = gzCompressing
+	h := g.Header()
+	h.Set("Content-Encoding", "gzip")
+	h.Del("Content-Length") // no longer the wire length
+	if g.status == 0 {
+		g.status = http.StatusOK
+	}
+	g.ResponseWriter.WriteHeader(g.status)
+	gz := gzipPool.Get().(*gzip.Writer)
+	gz.Reset(g.ResponseWriter)
+	g.gz = gz
+	if len(g.buf) > 0 {
+		g.gz.Write(g.buf)
+		g.buf = nil
+	}
+}
+
+// Flush forwards streaming flushes. A flush while undecided means the
+// handler wants bytes on the wire now (SSE, long poll): compression
+// would hold them back, so the response commits to passthrough.
+func (g *gzipResponseWriter) Flush() {
+	switch g.mode {
+	case gzUndecided:
+		g.startPassthrough()
+	case gzCompressing:
+		g.gz.Flush()
+	}
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finish closes out the response after the handler returns: a still-
+// undecided small body goes out uncompressed; an active gzip stream is
+// terminated and its writer recycled.
+func (g *gzipResponseWriter) finish() {
+	switch g.mode {
+	case gzUndecided:
+		g.startPassthrough()
+	case gzCompressing:
+		if err := g.gz.Close(); err == nil {
+			gzipPool.Put(g.gz)
+		}
+		g.gz = nil
+	}
+}

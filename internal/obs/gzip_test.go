@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gzGet(t *testing.T, h http.Handler, acceptGzip bool) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	if acceptGzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	rec := httptest.NewRecorder()
+	GzipHandler(h).ServeHTTP(rec, req)
+	return rec
+}
+
+func gunzip(t *testing.T, r io.Reader) string {
+	t.Helper()
+	gr, err := gzip.NewReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestGzipLargeBody(t *testing.T) {
+	body := strings.Repeat("citadel ", 1024) // 8 KiB, well past GzipMinBytes
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	})
+	rec := gzGet(t, h, true)
+	if ce := rec.Header().Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", ce)
+	}
+	if rec.Header().Get("Vary") != "Accept-Encoding" {
+		t.Fatalf("Vary = %q, want Accept-Encoding", rec.Header().Get("Vary"))
+	}
+	if got := gunzip(t, rec.Body); got != body {
+		t.Fatalf("decompressed body mismatch: %d bytes vs %d", len(got), len(body))
+	}
+}
+
+func TestGzipSmallBodyStaysPlain(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	rec := gzGet(t, h, true)
+	if ce := rec.Header().Get("Content-Encoding"); ce != "" {
+		t.Fatalf("small body got Content-Encoding %q", ce)
+	}
+	if rec.Body.String() != `{"status":"ok"}` {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestGzipSkippedWithoutAcceptEncoding(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 4096))
+	})
+	rec := gzGet(t, h, false)
+	if ce := rec.Header().Get("Content-Encoding"); ce != "" {
+		t.Fatalf("Content-Encoding = %q without Accept-Encoding", ce)
+	}
+}
+
+func TestGzipEventStreamPassthrough(t *testing.T) {
+	// An SSE handler writes far past the threshold but must never be
+	// buffered into a gzip stream.
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		for i := 0; i < 1024; i++ {
+			io.WriteString(w, "data: tick\n\n")
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	})
+	rec := gzGet(t, h, true)
+	if ce := rec.Header().Get("Content-Encoding"); ce != "" {
+		t.Fatalf("event stream got Content-Encoding %q", ce)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "data: tick\n\n") {
+		t.Fatalf("stream body corrupted: %q", rec.Body.String()[:24])
+	}
+}
+
+func TestGzipEarlyFlushForcesPassthrough(t *testing.T) {
+	// A handler that flushes before the threshold is streaming, whatever
+	// its content type — bytes must reach the wire uncompressed.
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "first")
+		w.(http.Flusher).Flush()
+		io.WriteString(w, strings.Repeat("x", 4096))
+	})
+	rec := gzGet(t, h, true)
+	if ce := rec.Header().Get("Content-Encoding"); ce != "" {
+		t.Fatalf("flushed stream got Content-Encoding %q", ce)
+	}
+	if !rec.Flushed {
+		t.Fatal("flush did not propagate to the underlying writer")
+	}
+}
+
+func TestGzipNotModifiedHasNoBody(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotModified)
+	})
+	rec := gzGet(t, h, true)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ce := rec.Header().Get("Content-Encoding"); ce != "" || rec.Body.Len() != 0 {
+		t.Fatalf("304 got encoding %q and %d body bytes", ce, rec.Body.Len())
+	}
+}

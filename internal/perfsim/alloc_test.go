@@ -1,0 +1,72 @@
+package perfsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stack"
+)
+
+// newTestSim mirrors RunContext's sim construction so white-box tests
+// can drive the access path directly.
+func newTestSim(cfg Config) *sim {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	s := &sim{
+		cfg:       cfg,
+		bankFree:  make([]float64, cfg.Stack.TotalDataBanks()),
+		bankFreeW: make([]float64, cfg.Stack.TotalDataBanks()),
+		bankRow:   make([]int, cfg.Stack.TotalDataBanks()),
+		chanFree:  make([]float64, cfg.Stack.Stacks*cfg.Stack.Channels()),
+		chanFreeW: make([]float64, cfg.Stack.Stacks*cfg.Stack.Channels()),
+		coreAvail: make([]float64, cfg.Cores),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	for i := range s.bankRow {
+		s.bankRow[i] = -1
+	}
+	return s
+}
+
+// TestAccessSlicesNoAlloc pins the hot-path contract: after the scratch
+// slice warms up, an access allocates nothing regardless of striping —
+// the whole point of AppendSlices over the allocating Slices form, since
+// every simulated request maps its line through here.
+func TestAccessSlicesNoAlloc(t *testing.T) {
+	for _, striping := range []stack.Striping{stack.SameBank, stack.AcrossBanks, stack.AcrossChannels} {
+		t.Run(striping.String(), func(t *testing.T) {
+			s := newTestSim(runCfg(striping, Overheads{}, 0))
+			lines := s.cfg.Stack.TotalLines()
+			var at float64
+			var lineIdx int64
+			// Warm the scratch to its striping's slice count.
+			at = s.accessSlices(0, at, false, false)
+			allocs := testing.AllocsPerRun(200, func() {
+				lineIdx = (lineIdx + 997) % lines
+				at = s.accessSlices(lineIdx, at, false, false)
+			})
+			if allocs != 0 {
+				t.Fatalf("accessSlices allocates %.1f per access, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessSlices measures the per-access cost of the line-mapping
+// hot path; before the scratch-slice change each iteration carried a
+// fresh []Slice allocation (B/op and allocs/op were nonzero).
+func BenchmarkAccessSlices(b *testing.B) {
+	for _, striping := range []stack.Striping{stack.SameBank, stack.AcrossBanks, stack.AcrossChannels} {
+		b.Run(striping.String(), func(b *testing.B) {
+			s := newTestSim(runCfg(striping, Overheads{}, 0))
+			lines := s.cfg.Stack.TotalLines()
+			var at float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at = s.accessSlices(int64(i*997)%lines, at, false, false)
+			}
+		})
+	}
+}

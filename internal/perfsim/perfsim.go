@@ -288,6 +288,10 @@ type sim struct {
 	// access it wants attributed (demand reads for ReadPhases, the RBW and
 	// parity sections for parity occupancy), accessSlices fills it.
 	acc Phases
+	// slices is the per-access slice scratch: accessSlices refills it via
+	// stack.Config.AppendSlices so the hot path stops allocating a fresh
+	// []Slice for every one of the millions of line accesses in a run.
+	slices []stack.Slice
 }
 
 // Run simulates the profile under the configuration; it cannot be
@@ -447,7 +451,8 @@ const StallOverlap = 2.2
 func (s *sim) accessSlices(lineIdx int64, at float64, write, background bool) float64 {
 	cfg := s.cfg
 	t := cfg.Timing
-	slices := cfg.Stack.Slices(cfg.Striping, lineIdx)
+	s.slices = cfg.Stack.AppendSlices(s.slices[:0], cfg.Striping, lineIdx)
+	slices := s.slices
 	nUnits := len(slices)
 	burst := float64(t.LineBurst) / float64(nUnits)
 	if burst < 1 {

@@ -67,14 +67,24 @@ type Slice struct {
 // every striped bank — collectively holds UnitsTouched rows' worth of lines,
 // with each line contributing an equal-size slice to every bank of the set.
 func (c Config) Slices(s Striping, lineIdx int64) []Slice {
+	return c.AppendSlices(nil, s, lineIdx)
+}
+
+// AppendSlices is the allocation-free form of Slices: it appends the
+// slices for lineIdx to dst and returns the extended slice. Hot loops
+// that map millions of lines (perfsim's access path) call it with a
+// reused scratch slice — AppendSlices(scratch[:0], ...) — so steady
+// state allocates nothing; Slices is the convenience form for callers
+// that map a handful of lines.
+func (c Config) AppendSlices(dst []Slice, s Striping, lineIdx int64) []Slice {
 	co := c.CoordOfLineIndex(lineIdx)
 	switch s {
 	case SameBank:
-		return []Slice{{
+		return append(dst, Slice{
 			Coord:     co,
 			RowOffset: co.Line * c.LineBytes,
 			Bytes:     c.LineBytes,
-		}}
+		})
 	case AcrossBanks:
 		n := c.BanksPerDie
 		sliceBytes := c.LineBytes / n
@@ -83,15 +93,14 @@ func (c Config) Slices(s Striping, lineIdx int64) []Slice {
 		linesPerRowSet := int64(n * c.RowBytes / c.LineBytes)
 		row := int(within / linesPerRowSet)
 		slot := int(within % linesPerRowSet)
-		out := make([]Slice, n)
 		for b := 0; b < n; b++ {
-			out[b] = Slice{
+			dst = append(dst, Slice{
 				Coord:     Coord{Stack: co.Stack, Die: co.Die, Bank: b, Row: row},
 				RowOffset: slot * sliceBytes,
 				Bytes:     sliceBytes,
-			}
+			})
 		}
-		return out
+		return dst
 	case AcrossChannels:
 		n := c.Channels()
 		sliceBytes := c.LineBytes / n
@@ -102,15 +111,14 @@ func (c Config) Slices(s Striping, lineIdx int64) []Slice {
 		slot := int(within % linesPerRowSet)
 		bank := int(set / int64(c.RowsPerBank) % int64(c.BanksPerDie))
 		row := int(set % int64(c.RowsPerBank))
-		out := make([]Slice, n)
 		for d := 0; d < n; d++ {
-			out[d] = Slice{
+			dst = append(dst, Slice{
 				Coord:     Coord{Stack: co.Stack, Die: d, Bank: bank, Row: row},
 				RowOffset: slot * sliceBytes,
 				Bytes:     sliceBytes,
-			}
+			})
 		}
-		return out
+		return dst
 	default:
 		panic(fmt.Sprintf("stack: unknown striping %d", int(s)))
 	}

@@ -46,6 +46,15 @@ func Key(v any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// ETag renders a content key (or any stable identity string) as a
+// strong HTTP entity tag. The store's keys are already collision-free
+// content addresses — the SHA-256 of the normalized spec that
+// deterministically produced the result — so a key equality check is a
+// byte equality check on the payload, which is exactly the contract a
+// strong ETag makes: the HTTP layer can answer If-None-Match with 304
+// without touching (or re-marshalling) the stored bytes.
+func ETag(identity string) string { return `"` + identity + `"` }
+
 // DefaultMaxBytes caps the result area when Options.MaxBytes is zero.
 const DefaultMaxBytes = 256 << 20 // 256 MiB
 

@@ -300,3 +300,26 @@ func TestConcurrentPutGetEviction(t *testing.T) {
 		t.Errorf("eviction emptied the store entirely (%d entries)", n)
 	}
 }
+
+func TestETagIsStrongValidator(t *testing.T) {
+	keyA, err := Key(map[string]int{"trials": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := Key(map[string]int{"trials": 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ETag(keyA), ETag(keyB)
+	if a == b {
+		t.Fatalf("distinct keys share ETag %s", a)
+	}
+	// Strong validators are quoted opaque strings (RFC 9110 §8.8.3) and
+	// deterministic: same content key, same tag.
+	if !strings.HasPrefix(a, `"`) || !strings.HasSuffix(a, `"`) {
+		t.Fatalf("ETag %q is not quoted", a)
+	}
+	if again := ETag(keyA); again != a {
+		t.Fatalf("ETag not deterministic: %s vs %s", a, again)
+	}
+}

@@ -1,0 +1,22 @@
+package stream
+
+import "repro/internal/obs"
+
+// Hub metrics, exposed by cmd/citadel-server at GET /metrics. Together
+// they make the fan-out observable: frames/publishes is the effective
+// fan-out factor, coalesced counts snapshots slow clients skipped, and
+// evicted counts clients detached for not draining at all.
+var (
+	mPublishes = obs.Default().Counter("citadel_stream_publishes_total",
+		"Snapshots published to the SSE hub (one JSON marshal each).")
+	mFrames = obs.Default().Counter("citadel_stream_frames_total",
+		"SSE frames enqueued to subscribers (shared bytes, no re-encoding).")
+	mCoalesced = obs.Default().Counter("citadel_stream_coalesced_total",
+		"Progress frames dropped latest-wins because a subscriber buffer was full.")
+	mEvicted = obs.Default().Counter("citadel_stream_evicted_total",
+		"Subscribers evicted for falling too far behind.")
+	mRejected = obs.Default().Counter("citadel_stream_rejected_total",
+		"Subscriptions rejected at the subscriber cap (HTTP 429).")
+	mSubscribers = obs.Default().Gauge("citadel_stream_subscribers",
+		"Currently connected SSE subscribers across all topics.")
+)
