@@ -56,7 +56,14 @@ stress-cluster:
 stress-stream:
 	$(GO) test -race -run TestStressStreamSubscribers -count=1 -v -timeout=10m ./internal/api/
 
-check: build vet staticcheck test race
+check: build vet staticcheck test race scenario-smoke
+
+# Scenario-registry smoke: the catalog must print (every plugin's init
+# ran and validated) and a short rowhammer campaign must survive the
+# race detector end-to-end through the public simulation pipeline.
+scenario-smoke:
+	$(GO) run ./cmd/citadel-sim -list-scenarios >/dev/null
+	$(GO) test -race -run 'TestRowhammerEndToEnd' -count=1 ./internal/scenario/
 
 # Engine performance gate: the Monte Carlo trial-loop microbenchmarks
 # (incremental vs batch evaluation, CRC variants, and the Figure-4 striping
@@ -68,6 +75,7 @@ bench.out:
 		-benchmem ./internal/faultsim/ > bench.out
 	$(GO) test -run xxx -bench 'BenchmarkCRC' ./internal/crc/ >> bench.out
 	$(GO) test -run xxx -bench 'BenchmarkRareEventTail' ./internal/rare/ >> bench.out
+	$(GO) test -run xxx -bench 'BenchmarkRowhammerArrivals' -benchmem ./internal/scenario/ >> bench.out
 	$(GO) test -run xxx -bench 'BenchmarkMonteCarloTrialThroughput|BenchmarkFig4StripingReliability' \
 		-benchmem . >> bench.out
 	$(GO) test -run xxx -bench 'BenchmarkBroadcastFanout' -benchmem ./internal/stream/ >> bench.out

@@ -33,8 +33,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/obs/trace"
-	"repro/internal/parity"
 	"repro/internal/rare"
+	"repro/internal/scenario"
 	"repro/internal/sparing"
 	"repro/internal/stack"
 )
@@ -140,48 +140,38 @@ func Schemes() []Scheme {
 	return out
 }
 
-// policy translates a Scheme (optionally with TSV-SWAP forced on, as the
-// paper does for all systems after §V-D) into an engine policy.
-func (s Scheme) policy(cfg Config, tsvSwap bool) faultsim.Policy {
-	dds := func(c stack.Config) faultsim.Sparer { return sparing.New(c) }
-	var p faultsim.Policy
-	switch s {
-	case SchemeNone:
-		p = faultsim.Policy{Predicate: ecc.NoProtection{}}
-	case SchemeSymbol8SameBank:
-		p = faultsim.Policy{Predicate: ecc.NewSymbol8(cfg, stack.SameBank)}
-	case SchemeSymbol8AcrossBanks:
-		p = faultsim.Policy{Predicate: ecc.NewSymbol8(cfg, stack.AcrossBanks)}
-	case SchemeSymbol8AcrossChannels:
-		p = faultsim.Policy{Predicate: ecc.NewSymbol8(cfg, stack.AcrossChannels)}
-	case Scheme1DP:
-		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.OneDP)}
-	case Scheme2DP:
-		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.TwoDP)}
-	case Scheme3DP:
-		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP)}
-	case Scheme3DPDDS:
-		p = faultsim.Policy{Predicate: ecc.NewParity(cfg, parity.ThreeDP), NewSparer: dds}
-	case SchemeCitadel:
-		p = faultsim.Policy{
-			Predicate: ecc.NewParity(cfg, parity.ThreeDP),
-			NewSparer: dds, UseTSVSwap: true,
-		}
-	case SchemeBCH6EC7ED:
-		p = faultsim.Policy{Predicate: ecc.NewBCH6EC7ED(cfg)}
-	case SchemeRAID5:
-		p = faultsim.Policy{Predicate: ecc.NewRAID5(cfg)}
-	case Scheme2DECC:
-		p = faultsim.Policy{Predicate: ecc.NewTwoDECC(cfg)}
-	default:
-		p = faultsim.Policy{Predicate: ecc.NoProtection{}}
+// buildPolicy constructs the engine policy of a named scheme through the
+// scenario registry, optionally forcing TSV-SWAP on (as the paper does
+// for all systems after §V-D). A scheme that natively uses TSV-SWAP
+// (Citadel) keeps its plain name; forcing it onto any other scheme
+// appends "+TSV-Swap", exactly as the pre-registry hand-wiring named
+// its policies.
+func buildPolicy(name string, cfg Config, params scenario.Params, tsvSwap bool) (faultsim.Policy, error) {
+	p, err := scenario.BuildScheme(name, cfg, params)
+	if err != nil {
+		return faultsim.Policy{}, err
 	}
+	native := p.UseTSVSwap
 	if tsvSwap {
 		p.UseTSVSwap = true
 	}
-	p.Name = s.String()
-	if p.UseTSVSwap && s != SchemeCitadel {
+	if p.UseTSVSwap && !native {
 		p.Name += "+TSV-Swap"
+	}
+	return p, nil
+}
+
+// policy translates a Scheme into an engine policy via the registry.
+func (s Scheme) policy(cfg Config, tsvSwap bool) faultsim.Policy {
+	p, err := buildPolicy(s.String(), cfg, nil, tsvSwap)
+	if err != nil {
+		// Out-of-range enum values keep the historical fallback: an
+		// unprotected baseline reported under the enum's name.
+		p = faultsim.Policy{Predicate: ecc.NoProtection{}, Name: s.String()}
+		if tsvSwap {
+			p.UseTSVSwap = true
+			p.Name += "+TSV-Swap"
+		}
 	}
 	return p
 }
@@ -236,6 +226,17 @@ type ReliabilityOptions struct {
 	// BiasFactor is the rare-event rate inflation (>= 1; 0 selects
 	// DefaultBiasFactor). Only meaningful with RareEvent.
 	BiasFactor float64
+	// FaultModel names the registered arrival-process plugin ("" selects
+	// scenario.DefaultFaultModel, the Poisson FIT-rate process — bit-
+	// identical to runs predating the field). Non-default models are
+	// incompatible with RareEvent: the importance-sampled engine biases
+	// Poisson rates and cannot reweight an arbitrary arrival process.
+	FaultModel string
+	// ScenarioParams are plugin knobs shared by the scheme and fault-model
+	// plugins (flat namespace; keys validated against the union of both
+	// plugins' declared parameters). Nil runs every plugin at its
+	// documented defaults.
+	ScenarioParams map[string]float64
 }
 
 // DefaultBiasFactor is the rare-event engine's default rate inflation.
@@ -290,6 +291,102 @@ func (o ReliabilityOptions) engineOptions() faultsim.Options {
 	}
 }
 
+// scenarioSetup validates the scenario selection and builds the policy
+// and engine options for a named scheme, routing the arrival process
+// through the fault-model registry. opts must already have defaults
+// applied.
+func (o ReliabilityOptions) scenarioSetup(schemeName string) (faultsim.Policy, faultsim.Options, error) {
+	params := scenario.Params(o.ScenarioParams)
+	if err := scenario.ValidateParams(schemeName, o.FaultModel, params); err != nil {
+		return faultsim.Policy{}, faultsim.Options{}, err
+	}
+	pol, err := buildPolicy(schemeName, o.Config, params, o.TSVSwap)
+	if err != nil {
+		return faultsim.Policy{}, faultsim.Options{}, err
+	}
+	arrivals, err := scenario.BuildFaultModel(o.FaultModel, o.Config, o.Rates, params)
+	if err != nil {
+		return faultsim.Policy{}, faultsim.Options{}, err
+	}
+	eo := o.engineOptions()
+	eo.NewArrivals = arrivals
+	return pol, eo, nil
+}
+
+// rareEventCompatible rejects scenario selections the importance-sampled
+// engine cannot honor: it builds its own biased Poisson sampler, so any
+// other arrival process would be silently ignored.
+func (o ReliabilityOptions) rareEventCompatible() error {
+	if o.FaultModel != "" && o.FaultModel != scenario.DefaultFaultModel {
+		return fmt.Errorf("citadel: rare-event engine supports only the %q fault model, not %q",
+			scenario.DefaultFaultModel, o.FaultModel)
+	}
+	return nil
+}
+
+// SimulateScenarioReliability runs a reliability study for a registered
+// scheme/fault-model pair selected by name; it cannot be interrupted
+// (see SimulateScenarioReliabilityContext).
+func SimulateScenarioReliability(opts ReliabilityOptions, schemeName string) (Result, error) {
+	return SimulateScenarioReliabilityContext(context.Background(), opts, schemeName)
+}
+
+// SimulateScenarioReliabilityContext is the name-based core every
+// reliability path runs through: the scheme plugin builds the policy,
+// the fault-model plugin builds the arrival process, and the engine
+// simulates them. For registered enum schemes under the default fault
+// model it is bit-identical to SimulateReliabilityContext. Errors are
+// configuration errors (unknown plugin, bad parameters); a cancelled
+// context still returns a partial Result with a nil error.
+func SimulateScenarioReliabilityContext(ctx context.Context, opts ReliabilityOptions, schemeName string) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.RareEvent {
+		if err := opts.rareEventCompatible(); err != nil {
+			return Result{}, err
+		}
+		if err := scenario.ValidateParams(schemeName, opts.FaultModel, scenario.Params(opts.ScenarioParams)); err != nil {
+			return Result{}, err
+		}
+		pol, err := buildPolicy(schemeName, opts.Config, scenario.Params(opts.ScenarioParams), opts.TSVSwap)
+		if err != nil {
+			return Result{}, err
+		}
+		return rare.RunISContext(ctx, rare.Options{
+			Options:    opts.engineOptions(),
+			BiasFactor: opts.BiasFactor,
+		}, pol), nil
+	}
+	pol, eo, err := opts.scenarioSetup(schemeName)
+	if err != nil {
+		return Result{}, err
+	}
+	return faultsim.RunContext(ctx, eo, pol), nil
+}
+
+// SimulateScenarioReliabilityAdaptive is the adaptive (failure-count-
+// targeted) variant of SimulateScenarioReliability.
+func SimulateScenarioReliabilityAdaptive(opts ReliabilityOptions, schemeName string, targetFailures, maxTrials int) (Result, error) {
+	return SimulateScenarioReliabilityAdaptiveContext(context.Background(), opts, schemeName, targetFailures, maxTrials)
+}
+
+// SimulateScenarioReliabilityAdaptiveContext adds trials in batches until
+// targetFailures or maxTrials, with the scheme and arrival process
+// resolved through the scenario registry. Like the enum-based adaptive
+// path it always uses the plain Monte Carlo engine (RareEvent is
+// ignored).
+func SimulateScenarioReliabilityAdaptiveContext(ctx context.Context, opts ReliabilityOptions, schemeName string, targetFailures, maxTrials int) (Result, error) {
+	opts = opts.withDefaults()
+	pol, eo, err := opts.scenarioSetup(schemeName)
+	if err != nil {
+		return Result{}, err
+	}
+	return faultsim.RunAdaptiveContext(ctx, faultsim.AdaptiveOptions{
+		Options:        eo,
+		TargetFailures: targetFailures,
+		MaxTrials:      maxTrials,
+	}, pol), nil
+}
+
 // SimulateReliability estimates the probability of system failure for one
 // scheme under the given options; it cannot be interrupted (see
 // SimulateReliabilityContext).
@@ -308,16 +405,27 @@ func SimulateReliabilityContext(ctx context.Context, opts ReliabilityOptions, sc
 	return runOne(ctx, opts, scheme)
 }
 
-// runOne dispatches one scheme to the plain or rare-event engine.
+// runOne dispatches one scheme to the name-based core. Out-of-range enum
+// values (not in the registry) keep the historical unprotected-baseline
+// fallback; other configuration errors (an unknown fault model, bad
+// scenario parameters) surface as a zero-trial Result carrying the error,
+// since the enum signatures predate error returns.
 func runOne(ctx context.Context, opts ReliabilityOptions, scheme Scheme) Result {
-	pol := scheme.policy(opts.Config, opts.TSVSwap)
-	if opts.RareEvent {
-		return rare.RunISContext(ctx, rare.Options{
-			Options:    opts.engineOptions(),
-			BiasFactor: opts.BiasFactor,
-		}, pol)
+	if _, ok := scenario.SchemeByName(scheme.String()); !ok {
+		pol := scheme.policy(opts.Config, opts.TSVSwap)
+		if opts.RareEvent {
+			return rare.RunISContext(ctx, rare.Options{
+				Options:    opts.engineOptions(),
+				BiasFactor: opts.BiasFactor,
+			}, pol)
+		}
+		return faultsim.RunContext(ctx, opts.engineOptions(), pol)
 	}
-	return faultsim.RunContext(ctx, opts.engineOptions(), pol)
+	res, err := SimulateScenarioReliabilityContext(ctx, opts, scheme.String())
+	if err != nil {
+		return Result{Policy: scheme.String(), Err: err, Partial: true}
+	}
+	return res
 }
 
 // CompareReliability runs several schemes under identical options.
@@ -351,6 +459,13 @@ func SimulateReliabilityAdaptive(opts ReliabilityOptions, scheme Scheme, targetF
 // accumulated so far as a Result marked Partial.
 func SimulateReliabilityAdaptiveContext(ctx context.Context, opts ReliabilityOptions, scheme Scheme, targetFailures, maxTrials int) Result {
 	opts = opts.withDefaults()
+	if _, ok := scenario.SchemeByName(scheme.String()); ok {
+		res, err := SimulateScenarioReliabilityAdaptiveContext(ctx, opts, scheme.String(), targetFailures, maxTrials)
+		if err != nil {
+			return Result{Policy: scheme.String(), Err: err, Partial: true}
+		}
+		return res
+	}
 	return faultsim.RunAdaptiveContext(ctx, faultsim.AdaptiveOptions{
 		Options:        opts.engineOptions(),
 		TargetFailures: targetFailures,

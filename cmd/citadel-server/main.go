@@ -52,6 +52,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs/trace"
+	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/stream"
 )
@@ -171,8 +172,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("citadel-server listening on %s (max %d concurrent simulations, sim timeout %s, metrics at /metrics, pprof %v)",
-			*addr, apiSrv.Capacity(), *simTimeout, *enablePprof)
+		cat := scenario.BuildCatalog()
+		log.Printf("citadel-server listening on %s (max %d concurrent simulations, sim timeout %s, metrics at /metrics, pprof %v, %d schemes + %d fault models at /api/v1/scenarios)",
+			*addr, apiSrv.Capacity(), *simTimeout, *enablePprof, len(cat.Schemes), len(cat.FaultModels))
 		errCh <- srv.ListenAndServe()
 	}()
 

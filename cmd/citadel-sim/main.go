@@ -9,7 +9,16 @@
 //	citadel-sim -rates myrates.json -scheme 3DP
 //	citadel-sim -scheme 3DP -tsv-fit 1430 -forensics fail.json -trace run.json
 //	citadel-sim -scheme Citadel -trials 2000000 -job-dir ./campaigns
+//	citadel-sim -scheme two-tier-replication -trials 200000
+//	citadel-sim -scheme Citadel -fault-model rowhammer -scenario-param aggressors=8
 //	citadel-sim -list
+//	citadel-sim -list-scenarios
+//
+// Beyond the paper's enum schemes, -scheme and -fault-model accept any
+// plugin registered in the scenario registry (internal/scenario);
+// -list-scenarios prints the catalog with per-plugin -scenario-param
+// knobs. Scenario-specific counters (replica-fetch traffic, rowhammer
+// episodes) are printed after the result line.
 //
 // -forensics writes a replayable failure-forensics report (feed it to
 // citadel-repro -forensics to verify). -trace writes the flight recorder
@@ -41,6 +50,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,8 +63,35 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/scenario"
 	"repro/internal/store"
 )
+
+// printScenarioStats dumps scenario-plugin counters sorted by name.
+func printScenarioStats(stats map[string]float64) {
+	if len(stats) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("scenario: %s=%g\n", k, stats[k])
+	}
+}
+
+// printCatalogSection lists one side of the scenario catalog.
+func printCatalogSection(title string, entries []scenario.CatalogEntry) {
+	fmt.Printf("%s:\n", title)
+	for _, e := range entries {
+		fmt.Printf("  %-26s %s\n", e.Name, e.Description)
+		for _, p := range e.Params {
+			fmt.Printf("      -scenario-param %s=... (default %g): %s\n", p.Name, p.Default, p.Doc)
+		}
+	}
+}
 
 // writeJSONFile writes v as indented JSON to path.
 func writeJSONFile(path string, v any) error {
@@ -96,7 +135,22 @@ func main() {
 		rareEvent  = flag.Bool("rare-event", false, "importance-sampled rare-event engine: bias large-granularity faults, unbias via likelihood ratios (resolves <1e-6 tails)")
 		biasFactor = flag.Float64("bias-factor", 0, "rare-event mode: large-granularity rate inflation (0 = default 16)")
 		splitCheck = flag.Bool("split", false, "cross-validate with multilevel splitting on the live-fault count (direct mode only)")
+		faultModel = flag.String("fault-model", "", "arrival-process plugin (empty = poisson; see -list-scenarios)")
+		listScen   = flag.Bool("list-scenarios", false, "list registered scenario schemes and fault models with their parameters, then exit")
 	)
+	scenarioParams := map[string]float64{}
+	flag.Func("scenario-param", "scenario plugin knob as name=value (repeatable; see -list-scenarios)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return fmt.Errorf("value of %q: %v", strings.TrimSpace(name), err)
+		}
+		scenarioParams[strings.TrimSpace(name)] = v
+		return nil
+	})
 	flag.Parse()
 
 	if *list {
@@ -105,16 +159,41 @@ func main() {
 		}
 		return
 	}
+	if *listScen {
+		cat := scenario.BuildCatalog()
+		printCatalogSection("schemes", cat.Schemes)
+		printCatalogSection("fault models", cat.FaultModels)
+		return
+	}
+	if _, ok := scenario.SchemeByName(*schemeName); !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q; use -list-scenarios\n", *schemeName)
+		os.Exit(2)
+	}
+	if _, ok := scenario.FaultModelByName(*faultModel); !ok {
+		fmt.Fprintf(os.Stderr, "unknown fault model %q; use -list-scenarios\n", *faultModel)
+		os.Exit(2)
+	}
+	if err := scenario.ValidateParams(*schemeName, *faultModel, scenarioParams); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// -split and -forensics replay through the enum-typed entry points,
+	// which run the default Poisson process; they accept only the paper's
+	// enum schemes under the default fault model.
 	var scheme citadel.Scheme
-	found := false
+	enumScheme := false
 	for _, s := range citadel.Schemes() {
 		if s.String() == *schemeName {
-			scheme, found = s, true
+			scheme, enumScheme = s, true
 			break
 		}
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q; use -list\n", *schemeName)
+	if (*splitCheck || *forensics != "") && !enumScheme {
+		fmt.Fprintf(os.Stderr, "-split and -forensics support only the enum schemes (see -list), not %q\n", *schemeName)
+		os.Exit(2)
+	}
+	if (*splitCheck || *forensics != "" || *rareEvent) && *faultModel != "" && *faultModel != scenario.DefaultFaultModel {
+		fmt.Fprintf(os.Stderr, "-split, -forensics and -rare-event support only the default %q fault model\n", scenario.DefaultFaultModel)
 		os.Exit(2)
 	}
 
@@ -165,6 +244,8 @@ func main() {
 				CheckpointTrials: *ckptTrials,
 				RareEvent:        *rareEvent,
 				BiasFactor:       *biasFactor,
+				FaultModel:       *faultModel,
+				ScenarioParams:   scenarioParams,
 			},
 			progressEvery: *progress,
 		})
@@ -183,6 +264,8 @@ func main() {
 		MaxExemplars:       *exemplars,
 		RareEvent:          *rareEvent,
 		BiasFactor:         *biasFactor,
+		FaultModel:         *faultModel,
+		ScenarioParams:     scenarioParams,
 	}
 	if *traceOut != "" {
 		opts.Trace = trace.New(trace.Options{
@@ -211,10 +294,15 @@ func main() {
 	defer stop()
 
 	var res citadel.Result
+	var err error
 	if *targetFail > 0 {
-		res = citadel.SimulateReliabilityAdaptiveContext(ctx, opts, scheme, *targetFail, *maxTrials)
+		res, err = citadel.SimulateScenarioReliabilityAdaptiveContext(ctx, opts, *schemeName, *targetFail, *maxTrials)
 	} else {
-		res = citadel.SimulateReliabilityContext(ctx, opts, scheme)
+		res, err = citadel.SimulateScenarioReliabilityContext(ctx, opts, *schemeName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	// Do not stop() here: -split reuses ctx below, and NotifyContext's
 	// stop cancels the context rather than just unregistering signals.
@@ -254,6 +342,7 @@ func main() {
 			opts.RunID, opts.Trace.Len(), opts.Trace.Dropped(), *traceOut)
 	}
 	fmt.Println(res)
+	printScenarioStats(res.ScenarioStats)
 	if res.Trials == 0 {
 		os.Exit(1)
 	}
@@ -399,6 +488,7 @@ func runDurable(cfg durableRun) {
 			res.ESS(), res.EffectiveTrials(), res.EffectiveTrials()/float64(max(res.Trials, 1)), res.Trials)
 	}
 	fmt.Println(res)
+	printScenarioStats(res.ScenarioStats)
 	if res.Trials == 0 {
 		os.Exit(1)
 	}

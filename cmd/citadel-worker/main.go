@@ -10,7 +10,11 @@
 // needed to run a chunk deterministically arrives in the lease grant, so
 // a worker can be killed (even SIGKILL) at any moment: the coordinator
 // requeues its chunk when the lease expires, and the campaign result is
-// bit-identical regardless of how many workers ran or died.
+// bit-identical regardless of how many workers ran or died. The grant
+// carries the full reliability spec, including the scenario selection
+// (scheme, fault model, scenario parameters), so scenario-registry
+// campaigns distribute with no worker-side configuration: chunks resolve
+// their plugins from the worker's own registry by name.
 //
 // SIGINT/SIGTERM stops pulling and abandons any in-flight chunk; the
 // lease machinery reassigns it. Run N processes (or -n within one) to

@@ -35,6 +35,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/stream"
 )
@@ -188,6 +189,7 @@ func (s *Server) Drain() {
 //	GET  /api/v1/readyz       readiness probe (503 while draining)
 //	GET  /api/v1/schemes      list protection schemes
 //	GET  /api/v1/benchmarks   list workload profiles
+//	GET  /api/v1/scenarios    scenario-registry catalog (schemes + fault models)
 //	GET  /api/v1/overhead     Citadel storage-overhead accounting
 //	POST /api/v1/reliability  run a Monte Carlo study
 //	POST /api/v1/performance  run the timing/power model
@@ -208,6 +210,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /api/v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /api/v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /api/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /api/v1/overhead", s.handleOverhead)
 	mux.HandleFunc("POST /api/v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /api/v1/performance", s.handlePerformance)
@@ -443,6 +446,34 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// scenariosBody renders the scenario-registry catalog once and derives a
+// strong ETag from its content hash. Registration happens in init
+// functions, so the registry is immutable by the time a request arrives
+// and the body can be cached for the process lifetime, exactly like the
+// benchmark catalog.
+var scenariosBody = sync.OnceValues(func() ([]byte, string) {
+	body, err := json.Marshal(scenario.BuildCatalog())
+	if err != nil {
+		panic(err) // static catalog of plain structs; cannot fail
+	}
+	sum := sha256.Sum256(body)
+	return append(body, '\n'), store.ETag(hex.EncodeToString(sum[:]))
+})
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	body, etag := scenariosBody()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=60")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		mNotModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
 func (s *Server) handleOverhead(w http.ResponseWriter, _ *http.Request) {
 	ov := citadel.ComputeStorageOverhead(citadel.DefaultConfig())
 	s.writeJSON(w, http.StatusOK, map[string]any{
@@ -469,6 +500,12 @@ type ReliabilityRequest struct {
 	// exemplar records.
 	Forensics    bool `json:"forensics"`
 	MaxExemplars int  `json:"maxExemplars"`
+	// FaultModel selects a registered arrival-process plugin (empty means
+	// the default Poisson process); GET /api/v1/scenarios lists them.
+	FaultModel string `json:"faultModel"`
+	// ScenarioParams are scheme/fault-model plugin knobs (flat namespace,
+	// validated against the plugins' declared parameters).
+	ScenarioParams map[string]float64 `json:"scenarioParams"`
 }
 
 // ReliabilityResponse mirrors citadel.Result. Partial marks a run cut
@@ -487,7 +524,11 @@ type ReliabilityResponse struct {
 	Causes      map[string]int     `json:"causes,omitempty"`
 	Breakdown   map[string]int     `json:"breakdown,omitempty"`
 	Exemplars   []citadel.Forensic `json:"exemplars,omitempty"`
-	Partial     bool               `json:"partial,omitempty"`
+	// ScenarioStats carries scenario-plugin counters (replica-fetch
+	// traffic, rowhammer episodes, ...) when the selected scenario
+	// produced any.
+	ScenarioStats map[string]float64 `json:"scenarioStats,omitempty"`
+	Partial       bool               `json:"partial,omitempty"`
 }
 
 // maxTrialsPerCall bounds request cost.
@@ -501,16 +542,16 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	var scheme citadel.Scheme
-	found := false
-	for _, sc := range citadel.Schemes() {
-		if sc.String() == req.Scheme {
-			scheme, found = sc, true
-			break
-		}
-	}
-	if !found {
+	if _, ok := scenario.SchemeByName(req.Scheme); !ok {
 		s.writeError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
+		return
+	}
+	if _, ok := scenario.FaultModelByName(req.FaultModel); !ok {
+		s.writeError(w, http.StatusBadRequest, "unknown fault model %q", req.FaultModel)
+		return
+	}
+	if err := scenario.ValidateParams(req.Scheme, req.FaultModel, scenario.Params(req.ScenarioParams)); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Trials < 0 || req.MaxTrials < 0 || req.TargetFailures < 0 {
@@ -556,12 +597,21 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		Forensics:          req.Forensics,
 		MaxExemplars:       req.MaxExemplars,
 		Trace:              s.opts.Trace,
+		FaultModel:         req.FaultModel,
+		ScenarioParams:     req.ScenarioParams,
 	}
 	var res citadel.Result
+	var err error
 	if req.TargetFailures > 0 {
-		res = citadel.SimulateReliabilityAdaptiveContext(ctx, opts, scheme, req.TargetFailures, req.MaxTrials)
+		res, err = citadel.SimulateScenarioReliabilityAdaptiveContext(ctx, opts, req.Scheme, req.TargetFailures, req.MaxTrials)
 	} else {
-		res = citadel.SimulateReliabilityContext(ctx, opts, scheme)
+		res, err = citadel.SimulateScenarioReliabilityContext(ctx, opts, req.Scheme)
+	}
+	if err != nil {
+		// Plugin builders reject parameter values (not just keys) at build
+		// time; surface that as a client error.
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	s.opts.Logf("api: run=%s kind=reliability scheme=%s trials=%d failures=%d partial=%t duration=%s done",
 		runID, req.Scheme, res.Trials, res.Failures, res.Partial, time.Since(start).Round(time.Millisecond))
@@ -570,17 +620,18 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		byYear[y] = res.ProbabilityByYear(y + 1)
 	}
 	s.writeJSON(w, http.StatusOK, ReliabilityResponse{
-		RunID:       runID,
-		Policy:      res.Policy,
-		Trials:      res.Trials,
-		Failures:    res.Failures,
-		Probability: res.Probability(),
-		CI95:        res.CI95(),
-		ByYear:      byYear,
-		Causes:      res.CauseCounts,
-		Breakdown:   res.Breakdown,
-		Exemplars:   res.Exemplars,
-		Partial:     res.Partial,
+		RunID:         runID,
+		Policy:        res.Policy,
+		Trials:        res.Trials,
+		Failures:      res.Failures,
+		Probability:   res.Probability(),
+		CI95:          res.CI95(),
+		ByYear:        byYear,
+		Causes:        res.CauseCounts,
+		Breakdown:     res.Breakdown,
+		Exemplars:     res.Exemplars,
+		ScenarioStats: res.ScenarioStats,
+		Partial:       res.Partial,
 	})
 }
 

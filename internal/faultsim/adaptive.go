@@ -138,6 +138,19 @@ func Merge(a, b Result) Result {
 			out.CauseCounts[k] += v
 		}
 	}
+	// ScenarioStats are additive counters; key-wise float addition with
+	// the same nil-in/nil-out contract as CauseCounts, so plain-run merges
+	// stay DeepEqual to fresh zero values and chunked scenario campaigns
+	// fold deterministically (jobs folds chunks in a fixed order).
+	if a.ScenarioStats != nil || b.ScenarioStats != nil {
+		out.ScenarioStats = make(map[string]float64, len(a.ScenarioStats)+len(b.ScenarioStats))
+		for k, v := range a.ScenarioStats {
+			out.ScenarioStats[k] += v
+		}
+		for k, v := range b.ScenarioStats {
+			out.ScenarioStats[k] += v
+		}
+	}
 	// Forensics merge only when at least one side carries it, so a merge of
 	// forensics-free results keeps nil fields (and DeepEqual-based golden
 	// comparisons intact).

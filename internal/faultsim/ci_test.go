@@ -131,6 +131,47 @@ func TestMergeNilInNilOut(t *testing.T) {
 	}
 }
 
+// ScenarioStats follows the same nil-in/nil-out and key-wise additive
+// contract as CauseCounts, and survives the JSON checkpoint round-trip
+// campaign resume relies on.
+func TestMergeScenarioStats(t *testing.T) {
+	plain := Merge(Result{Trials: 5}, Result{Trials: 5})
+	if plain.ScenarioStats != nil {
+		t.Errorf("merge of stat-free results grew ScenarioStats: %v", plain.ScenarioStats)
+	}
+	m := Merge(
+		Result{Trials: 5, ScenarioStats: map[string]float64{"hammerTrials": 5, "hammerEpisodes": 2}},
+		Result{Trials: 5, ScenarioStats: map[string]float64{"hammerTrials": 5, "hammerVictimFaults": 3}},
+	)
+	want := map[string]float64{"hammerTrials": 10, "hammerEpisodes": 2, "hammerVictimFaults": 3}
+	if !reflect.DeepEqual(m.ScenarioStats, want) {
+		t.Errorf("merged ScenarioStats = %v, want %v", m.ScenarioStats, want)
+	}
+	oneSided := Merge(Result{Trials: 5}, Result{Trials: 5, ScenarioStats: map[string]float64{"tierFetchRows": 7}})
+	if oneSided.ScenarioStats["tierFetchRows"] != 7 {
+		t.Errorf("one-sided ScenarioStats merge lost counts: %v", oneSided.ScenarioStats)
+	}
+
+	// Checkpoint round-trip: marshal/unmarshal preserves the map exactly
+	// and keeps absent maps absent.
+	for _, r := range []Result{
+		{Trials: 10, Failures: 1, ScenarioStats: map[string]float64{"hammerTrials": 10, "tierFetchSeconds": 0.125}},
+		{Trials: 10, Failures: 1},
+	} {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Result
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back.ScenarioStats, r.ScenarioStats) {
+			t.Errorf("checkpoint round-trip changed ScenarioStats: %v -> %v", r.ScenarioStats, back.ScenarioStats)
+		}
+	}
+}
+
 // weightedResult builds a Weighted result from exactly-representable
 // dyadic weights so float equality is meaningful.
 func weightedResult(trials, failures int, w, wsq float64, byYear []float64) Result {

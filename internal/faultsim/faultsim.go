@@ -42,6 +42,44 @@ type Sparer interface {
 	Offer(f fault.Fault, live []fault.Fault) (sparedSelf bool, sparedLive []int)
 }
 
+// Arrivals generates the fault-event sequence of one Monte Carlo trial.
+// fault.Sampler satisfies it as-is (the Poisson FIT-rate process); fault
+// model plugins (internal/scenario) provide alternatives such as
+// activation-driven rowhammer arrivals. Implementations must draw all
+// randomness from rng — the engine's determinism contract (equal seed and
+// worker count give bit-identical Results) extends through this interface
+// — and must return the appended portion sorted by Fault.Hours.
+type Arrivals interface {
+	AppendLifetime(rng *rand.Rand, hours float64, dst []fault.Fault) []fault.Fault
+}
+
+// ArrivalStats is optionally implemented by Arrivals sources that
+// accumulate per-scenario counters (e.g. rowhammer activation
+// histograms). The engine calls FlushStats once per worker after its
+// trials finish and folds the maps into Result.ScenarioStats in worker
+// order, keeping the merged floats deterministic.
+type ArrivalStats interface {
+	FlushStats(dst map[string]float64)
+}
+
+// Observer watches applied fault arrivals of one worker's trials —
+// scenario plugins use it to surface repair-cost statistics (e.g.
+// two-tier backing-store fetch traffic) without touching the
+// correctability verdict. Observers are constructed per worker
+// (Policy.NewObserver), so implementations need no locking, and must not
+// influence the simulation: verdicts, RNG draws, and trial control flow
+// are identical with or without one.
+type Observer interface {
+	// Arrival is called once per fault arrival that enters the live set
+	// (TSV-SWAP-repaired faults are not applied and not observed), after
+	// the correctability verdict for that arrival.
+	Arrival(f fault.Fault, uncorrectable bool)
+	// FlushStats adds the worker's accumulated counters into dst; the
+	// engine merges per-worker maps into Result.ScenarioStats in worker
+	// order.
+	FlushStats(dst map[string]float64)
+}
+
 // Policy is a complete protection configuration to simulate.
 type Policy struct {
 	// Name appears in reports; defaults to the predicate's name.
@@ -55,6 +93,10 @@ type Policy struct {
 	TSVStandbyPool int
 	// NewSparer, when non-nil, constructs per-trial sparing state (DDS).
 	NewSparer func(cfg stack.Config) Sparer
+	// NewObserver, when non-nil, constructs a per-worker arrival observer
+	// whose flushed counters land in Result.ScenarioStats. Observers are
+	// passive: they must not change verdicts or draw randomness.
+	NewObserver func(cfg stack.Config) Observer
 }
 
 // name returns the effective policy name.
@@ -106,6 +148,14 @@ type Options struct {
 	// spans, failure instants, run lifecycle). A nil recorder is fully
 	// disabled and costs one branch per trial.
 	Trace *trace.Recorder
+	// NewArrivals, when non-nil, constructs one arrival process per worker
+	// in place of the default fault.NewSampler(Config, Rates). The factory
+	// is called once per worker goroutine, so the returned source may keep
+	// unsynchronized state; all randomness must come from the rng handed
+	// to AppendLifetime. Nil keeps the Poisson FIT-rate process and is
+	// bit-identical to the poisson fault-model plugin (internal/scenario),
+	// whose factory performs exactly the same construction.
+	NewArrivals func() Arrivals
 }
 
 // Progress is a point-in-time snapshot of a running Monte Carlo study.
@@ -176,6 +226,13 @@ type Result struct {
 	// Exemplars holds the first MaxExemplars forensic records in
 	// deterministic (Worker, Trial) order. Nil unless Options.Forensics.
 	Exemplars []Forensic
+	// ScenarioStats carries additive per-scenario counters flushed by the
+	// policy's Observer and the arrival source's ArrivalStats (e.g.
+	// two-tier fetch traffic, rowhammer activation histograms). Nil unless
+	// the scenario produced any — plain runs stay DeepEqual to their old
+	// selves. Merge adds values key-wise with nil-in/nil-out semantics
+	// like CauseCounts, and the JSON checkpoint round-trips it unchanged.
+	ScenarioStats map[string]float64
 	// Weighted marks an importance-sampled result (internal/rare):
 	// trials were drawn under a biased fault-arrival measure and each
 	// failing trial carries a likelihood-ratio weight. Failures still
@@ -374,6 +431,9 @@ type trialState struct {
 	// swapper saw but could not repair (stand-by budget overflow) — a
 	// forensic signal. Plain int: it rides the zero-allocation loop.
 	tsvUnrepaired int
+	// obs, when non-nil, watches applied arrivals (Policy.NewObserver).
+	// Purely passive: it never changes a verdict or the control flow.
+	obs Observer
 }
 
 func newTrialState(cfg stack.Config, pol Policy, scrub float64, disableIncremental bool) *trialState {
@@ -382,6 +442,9 @@ func newTrialState(cfg stack.Config, pol Policy, scrub float64, disableIncrement
 		if ip, ok := pol.Predicate.(ecc.IncrementalPredicate); ok {
 			ts.inc = ip.Begin()
 		}
+	}
+	if pol.NewObserver != nil {
+		ts.obs = pol.NewObserver(cfg)
 	}
 	ts.reset()
 	return ts
@@ -507,6 +570,9 @@ func (ts *trialState) run(faults []fault.Fault) (float64, fault.Class) {
 		} else {
 			bad = ts.pol.Predicate.Uncorrectable(ts.liveFaults())
 		}
+		if ts.obs != nil {
+			ts.obs.Arrival(f, bad)
+		}
 		if bad {
 			return f.Hours, f.Class
 		}
@@ -533,16 +599,19 @@ func (ts *trialState) runSingle(f fault.Fault) (float64, fault.Class) {
 		}
 		ts.tsvUnrepaired++
 	}
+	var bad bool
 	if ts.inc != nil {
 		ts.inc.Reset()
-		if ts.inc.Add(f) {
-			return f.Hours, f.Class
-		}
-		return -1, 0
+		bad = ts.inc.Add(f)
+	} else {
+		ts.scratch = ts.scratch[:0]
+		ts.scratch = append(ts.scratch, f)
+		bad = ts.pol.Predicate.Uncorrectable(ts.scratch)
 	}
-	ts.scratch = ts.scratch[:0]
-	ts.scratch = append(ts.scratch, f)
-	if ts.pol.Predicate.Uncorrectable(ts.scratch) {
+	if ts.obs != nil {
+		ts.obs.Arrival(f, bad)
+	}
+	if bad {
 		return f.Hours, f.Class
 	}
 	return -1, 0
@@ -616,6 +685,11 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	per := (opt.Trials + opt.Workers - 1) / opt.Workers
+	// Scenario counters are floats, and float addition is not associative,
+	// so workers park their stats here and the fold below runs in worker
+	// order — keeping ScenarioStats bit-identical across repeat runs
+	// regardless of goroutine completion order.
+	statsByWorker := make([]map[string]float64, opt.Workers)
 	for w := 0; w < opt.Workers; w++ {
 		lo := w * per
 		hi := lo + per
@@ -629,7 +703,12 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 		go func(worker, n int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(deriveSeed(opt.Seed, uint64(worker))))
-			sampler := fault.NewSampler(opt.Config, opt.Rates)
+			var src Arrivals
+			if opt.NewArrivals != nil {
+				src = opt.NewArrivals()
+			} else {
+				src = fault.NewSampler(opt.Config, opt.Rates)
+			}
 			ts := newTrialState(opt.Config, pol, opt.ScrubIntervalHours, opt.DisableIncremental)
 			var trialBuf []fault.Fault
 			done := 0
@@ -661,7 +740,7 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 					}
 				}
 				done++
-				trialBuf = sampler.AppendLifetime(rng, opt.LifetimeHours, trialBuf[:0])
+				trialBuf = src.AppendLifetime(rng, opt.LifetimeHours, trialBuf[:0])
 				fs := trialBuf
 				if len(fs) == 0 {
 					continue
@@ -728,6 +807,18 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 					}
 				}
 			}
+			var stats map[string]float64
+			if so, ok := src.(ArrivalStats); ok {
+				stats = make(map[string]float64)
+				so.FlushStats(stats)
+			}
+			if ts.obs != nil {
+				if stats == nil {
+					stats = make(map[string]float64)
+				}
+				ts.obs.FlushStats(stats)
+			}
+			statsByWorker[worker] = stats
 			mu.Lock()
 			res.Trials += done
 			res.Failures += failures
@@ -747,6 +838,20 @@ func RunContext(ctx context.Context, opt Options, pol Policy) Result {
 	wg.Wait()
 	close(stopProg)
 	<-progDone
+	// Fold scenario stats in worker order (float addition order matters
+	// for bit-identical repeats). Nil when no worker produced any, so
+	// plain runs keep a nil map.
+	for _, stats := range statsByWorker {
+		if len(stats) == 0 {
+			continue
+		}
+		if res.ScenarioStats == nil {
+			res.ScenarioStats = make(map[string]float64, len(stats))
+		}
+		for k, v := range stats {
+			res.ScenarioStats[k] += v
+		}
+	}
 	if err := ctx.Err(); err != nil && res.Trials < opt.Trials {
 		res.Partial = true
 		res.Err = err

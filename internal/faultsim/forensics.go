@@ -116,7 +116,9 @@ func captureForensic(opt Options, pol Policy, ts *trialState, worker, trial int,
 	// The single-fault fast path never consults (or resets) the sparer, so
 	// its counters only describe multi-fault trials.
 	if len(live) > 1 && ts.sparer != nil {
-		if rc, ok := ts.sparer.(interface{ RejectCounts() (footprint, budget int) }); ok {
+		if rc, ok := ts.sparer.(interface {
+			RejectCounts() (footprint, budget int)
+		}); ok {
 			fp, budget := rc.RejectCounts()
 			if budget > 0 {
 				fx.Reasons = append(fx.Reasons, ecc.Reason{

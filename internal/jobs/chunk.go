@@ -64,8 +64,7 @@ func (r *ReliabilitySpec) ChunkTrials(i int) int {
 // set; callers must discard it (partial chunk statistics depend on where
 // the cancel landed and would break determinism).
 func RunChunk(ctx context.Context, r *ReliabilitySpec, chunk int, runID string, progress func(citadel.RunProgress)) (citadel.Result, error) {
-	scheme, ok := schemeByName(r.Scheme)
-	if !ok {
+	if !validScheme(r.Scheme) {
 		return citadel.Result{}, fmt.Errorf("jobs: unknown scheme %q", r.Scheme)
 	}
 	if chunk < 0 || chunk >= totalChunks(r) {
@@ -83,6 +82,8 @@ func RunChunk(ctx context.Context, r *ReliabilitySpec, chunk int, runID string, 
 		Progress:           progress,
 		RareEvent:          r.RareEvent,
 		BiasFactor:         r.BiasFactor,
+		FaultModel:         r.FaultModel,
+		ScenarioParams:     r.ScenarioParams,
 	}
-	return citadel.SimulateReliabilityContext(ctx, opts, scheme), nil
+	return citadel.SimulateScenarioReliabilityContext(ctx, opts, r.Scheme)
 }

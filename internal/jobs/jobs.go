@@ -822,7 +822,7 @@ func (o *Orchestrator) persistCheckpoint(j *job, total *citadel.Result) {
 // degraded cluster slows a campaign down but never fails it.
 func (o *Orchestrator) runReliability(ctx context.Context, j *job) (any, bool, error) {
 	r := j.spec.Reliability
-	if _, ok := schemeByName(r.Scheme); !ok {
+	if !validScheme(r.Scheme) {
 		return nil, false, fmt.Errorf("jobs: unknown scheme %q", r.Scheme)
 	}
 	chunks := totalChunks(r)

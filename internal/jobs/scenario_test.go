@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/faultsim"
+)
+
+// TestScenarioSpecKeys: scenario selection is part of the content
+// address (a rowhammer campaign is a different deterministic
+// computation than a Poisson one), while specs that spell out the
+// defaults must keep their pre-registry keys — FaultModel "poisson"
+// normalizes to "" and empty ScenarioParams to nil, and omitempty keeps
+// both out of the canonical JSON entirely.
+func TestScenarioSpecKeys(t *testing.T) {
+	plain := smallSpec(42)
+	kp, err := plain.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spelled := smallSpec(42)
+	spelled.Reliability.FaultModel = "poisson"
+	spelled.Reliability.ScenarioParams = map[string]float64{}
+	ks, err := spelled.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != kp {
+		t.Error("spelling out the default fault model changed the content key")
+	}
+
+	hammer := smallSpec(42)
+	hammer.Reliability.FaultModel = "rowhammer"
+	kh, err := hammer.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kh == kp {
+		t.Error("rowhammer and poisson campaigns share a content key")
+	}
+
+	tuned := smallSpec(42)
+	tuned.Reliability.FaultModel = "rowhammer"
+	tuned.Reliability.ScenarioParams = map[string]float64{"aggressors": 8}
+	kt, err := tuned.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt == kh {
+		t.Error("different scenario parameters share a content key")
+	}
+
+	data, err := json.Marshal(plain.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "faultModel") || strings.Contains(string(data), "scenarioParams") {
+		t.Errorf("plain spec's canonical JSON leaks scenario fields: %s", data)
+	}
+}
+
+func TestScenarioSpecValidation(t *testing.T) {
+	bad := smallSpec(1)
+	bad.Reliability.FaultModel = "no-such-model"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown fault model accepted")
+	}
+	bad = smallSpec(1)
+	bad.Reliability.Scheme = "no-such-scheme"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	bad = smallSpec(1)
+	bad.Reliability.ScenarioParams = map[string]float64{"bogus": 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scenario parameter accepted")
+	}
+	bad = smallSpec(1)
+	bad.Reliability.ScenarioParams = map[string]float64{"breakthroughProb": 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("fault-model parameter accepted without its fault model")
+	}
+	bad = smallSpec(1)
+	bad.Reliability.RareEvent = true
+	bad.Reliability.FaultModel = "rowhammer"
+	if err := bad.Validate(); err == nil {
+		t.Error("rare-event campaign with a non-poisson fault model accepted")
+	}
+	// Value errors are caught at submission, not first chunk: the dry-run
+	// build rejects invalid parameter values.
+	bad = smallSpec(1)
+	bad.Reliability.FaultModel = "rowhammer"
+	bad.Reliability.ScenarioParams = map[string]float64{"aggressors": 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid parameter value accepted at submission")
+	}
+
+	ok := smallSpec(1)
+	ok.Reliability.Scheme = "two-tier-replication"
+	ok.Reliability.FaultModel = "rowhammer"
+	ok.Reliability.ScenarioParams = map[string]float64{"fetchLatencyMicros": 1, "aggressors": 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid composed scenario rejected: %v", err)
+	}
+}
+
+// A chunked, checkpointed rowhammer campaign folds every chunk's
+// ScenarioStats into the final result, and reruns of the same spec are
+// bit-identical.
+func hammerSpec(seed int64) Spec {
+	s := smallSpec(seed)
+	s.Reliability.Scheme = "two-tier-replication"
+	s.Reliability.FaultModel = "rowhammer"
+	s.Reliability.ScenarioParams = map[string]float64{"breakthroughProb": 1e-7}
+	return s
+}
+
+func TestScenarioCampaignFoldsStats(t *testing.T) {
+	o, _ := newOrch(t, t.TempDir(), 2, 4)
+	j, err := o.Submit(hammerSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitDone(t, o, j.ID)
+	var res faultsim.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 2000 {
+		t.Fatalf("campaign completed %d trials, want 2000", res.Trials)
+	}
+	if res.ScenarioStats["hammerTrials"] != 2000 {
+		t.Fatalf("hammerTrials = %g, want 2000 (stats: %v)", res.ScenarioStats["hammerTrials"], res.ScenarioStats)
+	}
+	if res.ScenarioStats["tierFetchEvents"] < 0 || res.ScenarioStats["hammerEpisodes"] <= 0 {
+		t.Fatalf("scenario stats incomplete: %v", res.ScenarioStats)
+	}
+
+	// Same spec on a fresh orchestrator: the chunk-seeded computation is
+	// deterministic, so the merged results match field for field.
+	o2, _ := newOrch(t, t.TempDir(), 1, 4)
+	j2, err := o2.Submit(hammerSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2 := waitDone(t, o2, j2.ID)
+	var res2 faultsim.Result
+	if err := json.Unmarshal(fin2.Result, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != res2.Failures || res.ScenarioStats["hammerEpisodes"] != res2.ScenarioStats["hammerEpisodes"] {
+		t.Fatalf("rerun diverged: %+v vs %+v", res, res2)
+	}
+}
+
+// The cerberus scheme (no observer, no arrival stats) runs as a durable
+// campaign too, and its result carries no ScenarioStats map at all —
+// the nil-in/nil-out merge contract seen end to end.
+func TestCerberusCampaign(t *testing.T) {
+	o, _ := newOrch(t, t.TempDir(), 1, 4)
+	spec := smallSpec(3)
+	spec.Reliability.Scheme = "cerberus-cross-layer"
+	j, err := o.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitDone(t, o, j.ID)
+	var res faultsim.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "cerberus-cross-layer" || res.Trials != 2000 {
+		t.Fatalf("unexpected campaign result: %+v", res)
+	}
+	if res.ScenarioStats != nil {
+		t.Fatalf("stat-free scheme grew ScenarioStats: %v", res.ScenarioStats)
+	}
+}

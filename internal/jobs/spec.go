@@ -6,6 +6,8 @@ import (
 
 	citadel "repro"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/stack"
 	"repro/internal/store"
 )
 
@@ -66,6 +68,16 @@ type ReliabilitySpec struct {
 	// Part of the content key: a different bias is a different
 	// deterministic run.
 	BiasFactor float64 `json:"biasFactor,omitempty"`
+	// FaultModel names the registered arrival-process plugin. Normalized
+	// to "" when it names scenario.DefaultFaultModel, and omitted from the
+	// JSON encoding when empty, so pre-existing Poisson campaigns keep
+	// their content keys — see TestScenarioSpecKeys.
+	FaultModel string `json:"faultModel,omitempty"`
+	// ScenarioParams are plugin knobs shared by the scheme and fault-model
+	// plugins. An empty map normalizes to nil (and is omitted from the
+	// encoding) for the same key-stability reason. Part of the content key
+	// otherwise: different knobs are a different deterministic run.
+	ScenarioParams map[string]float64 `json:"scenarioParams,omitempty"`
 }
 
 // PerformanceSpec configures a timing/power run (base plus protected
@@ -120,6 +132,12 @@ func (s Spec) Normalize() Spec {
 		if r.RareEvent && r.BiasFactor == 0 {
 			r.BiasFactor = citadel.DefaultBiasFactor
 		}
+		if r.FaultModel == scenario.DefaultFaultModel {
+			r.FaultModel = ""
+		}
+		if len(r.ScenarioParams) == 0 {
+			r.ScenarioParams = nil
+		}
 		s.Reliability = &r
 	case s.Performance != nil:
 		p := *s.Performance
@@ -166,14 +184,11 @@ func (s Spec) Key() (string, error) {
 	return store.Key(n)
 }
 
-// schemeByName resolves a scheme name as printed by citadel.Schemes().
-func schemeByName(name string) (citadel.Scheme, bool) {
-	for _, sc := range citadel.Schemes() {
-		if sc.String() == name {
-			return sc, true
-		}
-	}
-	return 0, false
+// validScheme reports whether name resolves in the scenario registry —
+// every citadel.Scheme plus the scenario-only schemes.
+func validScheme(name string) bool {
+	_, ok := scenario.SchemeByName(name)
+	return ok
 }
 
 // Validate rejects malformed specs before they enter the queue.
@@ -194,8 +209,24 @@ func (s Spec) Validate() error {
 		if r == nil {
 			return fmt.Errorf("jobs: kind %q requires the reliability spec", n.Kind)
 		}
-		if _, ok := schemeByName(r.Scheme); !ok {
+		if !validScheme(r.Scheme) {
 			return fmt.Errorf("jobs: unknown scheme %q", r.Scheme)
+		}
+		if _, ok := scenario.FaultModelByName(r.FaultModel); !ok {
+			return fmt.Errorf("jobs: unknown fault model %q", r.FaultModel)
+		}
+		if err := scenario.ValidateParams(r.Scheme, r.FaultModel, scenario.Params(r.ScenarioParams)); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		// Dry-run the plugin builders against the default geometry so
+		// value errors (a bad codeword width, a non-positive rate) are
+		// rejected at submission instead of surfacing as failed chunks.
+		if _, err := scenario.BuildScheme(r.Scheme, stack.DefaultConfig(), scenario.Params(r.ScenarioParams)); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		if _, err := scenario.BuildFaultModel(r.FaultModel, stack.DefaultConfig(),
+			citadel.Table1Rates().WithTSV(r.TSVFIT), scenario.Params(r.ScenarioParams)); err != nil {
+			return fmt.Errorf("jobs: %w", err)
 		}
 		if r.TSVFIT < 0 || r.LifetimeYears < 0 || r.ScrubHours < 0 {
 			return fmt.Errorf("jobs: tsvFit, lifetimeYears and scrubHours must be non-negative")
@@ -205,6 +236,9 @@ func (s Spec) Validate() error {
 		}
 		if r.RareEvent && r.BiasFactor < 1 {
 			return fmt.Errorf("jobs: biasFactor must be >= 1, got %g", r.BiasFactor)
+		}
+		if r.RareEvent && r.FaultModel != "" {
+			return fmt.Errorf("jobs: rareEvent supports only the default %q fault model", scenario.DefaultFaultModel)
 		}
 	case KindPerformance:
 		p := n.Performance

@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stack"
+)
+
+// BenchmarkRowhammerArrivals gates the rowhammer arrival generator's
+// per-trial cost. Unlike the Poisson sampler it draws an episode
+// schedule per aggressor and insertion-sorts the merged stream, so a
+// regression here slows every rowhammer campaign; benchjson tracks the
+// trials/s entry in BENCH_faultsim.json.
+func BenchmarkRowhammerArrivals(b *testing.B) {
+	factory, err := BuildFaultModel(rowhammerModelName, stack.DefaultConfig(),
+		fault.Table1().WithTSV(1430), Params{"breakthroughProb": 1e-7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := factory()
+	rng := rand.New(rand.NewSource(1))
+	var buf []fault.Fault
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = src.AppendLifetime(rng, lifetimeHours, buf[:0])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stack"
+)
+
+func buildCerberus(t *testing.T, p Params) *cerberusPredicate {
+	t.Helper()
+	pol, err := BuildScheme(cerberusSchemeName, stack.DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol.Predicate.(*cerberusPredicate)
+}
+
+// bitFault places a die-exact single-bit fault at one column.
+func bitFault(die, bank, row, col uint32) fault.Fault {
+	return fault.Fault{
+		Class: fault.Bit,
+		Region: fault.Region{
+			Die:  fault.ExactPattern(die),
+			Bank: fault.ExactPattern(bank),
+			Row:  fault.ExactPattern(row),
+			Col:  fault.ExactPattern(col),
+		},
+	}
+}
+
+func TestCerberusBuildValidation(t *testing.T) {
+	for _, bad := range []float64{0, -128, 100, 1 << 20} {
+		if _, err := BuildScheme(cerberusSchemeName, stack.DefaultConfig(), Params{"ondieWordBits": bad}); err == nil {
+			t.Errorf("ondieWordBits=%g: expected error", bad)
+		}
+	}
+	if _, err := BuildScheme(cerberusSchemeName, stack.DefaultConfig(), Params{"ondieWordBits": 64}); err != nil {
+		t.Errorf("ondieWordBits=64: %v", err)
+	}
+}
+
+func TestCerberusLoneBitsAbsorbed(t *testing.T) {
+	pred := buildCerberus(t, nil)
+	// Lone bit errors — even many, even across dies at the same striped
+	// line — are each alone in their on-die codeword, so the on-die SEC
+	// absorbs them all.
+	live := []fault.Fault{
+		bitFault(0, 1, 5, 3),
+		bitFault(1, 1, 5, 3),
+		bitFault(2, 1, 5, 3),
+		bitFault(3, 1, 5, 3),
+		bitFault(4, 1, 5, 3),
+		bitFault(0, 1, 9, 200), // different row, same die
+	}
+	if pred.Uncorrectable(live) {
+		t.Fatal("lone bit faults should all be absorbed on-die")
+	}
+}
+
+func TestCerberusCodewordGeometry(t *testing.T) {
+	pred := buildCerberus(t, nil)
+	// Columns 3 and 100 share the [0,128) codeword; 130 does not.
+	a := bitFault(0, 1, 5, 3)
+	b := bitFault(0, 1, 5, 100)
+	c := bitFault(0, 1, 5, 130)
+	start, ok := pred.codewordStart(a.Region.Col)
+	if !ok || start != 0 {
+		t.Fatalf("codewordStart(3) = (%d, %t), want (0, true)", start, ok)
+	}
+	if !pred.sharesCodeword([]fault.Fault{a, b}, 0, start) {
+		t.Fatal("cols 3 and 100 should share the 128-bit codeword")
+	}
+	if pred.sharesCodeword([]fault.Fault{a, c}, 0, start) {
+		t.Fatal("cols 3 and 130 are in different codewords")
+	}
+	// Different dies never share an on-die codeword.
+	d := bitFault(1, 1, 5, 5)
+	if pred.sharesCodeword([]fault.Fault{a, d}, 0, start) {
+		t.Fatal("different dies should not share a codeword")
+	}
+}
+
+// handTransform replicates the documented cross-layer rules so the
+// predicate's composed verdict can be checked against feeding the inner
+// rank-level code the transformed set directly.
+func handTransform(pred *cerberusPredicate, live []fault.Fault) []fault.Fault {
+	var out []fault.Fault
+	for i, f := range live {
+		if f.Class != fault.Bit {
+			out = append(out, f)
+			continue
+		}
+		start, ok := pred.codewordStart(f.Region.Col)
+		if !ok {
+			out = append(out, f)
+			continue
+		}
+		if !pred.sharesCodeword(live, i, start) {
+			continue
+		}
+		g := f
+		g.Class = fault.Word
+		g.Region.Col = fault.MaskPattern(^(pred.wordBits - 1), start)
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestCerberusComposesWithRankCode(t *testing.T) {
+	pred := buildCerberus(t, nil)
+	bank := fault.Fault{
+		Class: fault.Bank,
+		Region: fault.Region{
+			Die:  fault.ExactPattern(2),
+			Bank: fault.ExactPattern(1),
+			Row:  fault.AllPattern(),
+			Col:  fault.AllPattern(),
+		},
+	}
+	cases := [][]fault.Fault{
+		// Pass-through: no bit faults at all.
+		{bank},
+		// Escalation: two bits colliding in one codeword.
+		{bitFault(0, 1, 5, 3), bitFault(0, 1, 5, 100)},
+		// Mixed: a bit colliding with a bank-wide footprint escalates,
+		// a lone bit elsewhere is absorbed.
+		{bitFault(2, 1, 5, 3), bank, bitFault(0, 3, 9, 7)},
+		// Collision via a row fault in the same die/bank/row.
+		{bitFault(1, 0, 17, 300), exactFault(1, 0, 17)},
+	}
+	for i, live := range cases {
+		got := pred.Uncorrectable(live)
+		want := false
+		if tr := handTransform(pred, live); len(tr) > 0 {
+			want = pred.inner.Uncorrectable(tr)
+		}
+		if got != want {
+			t.Errorf("case %d: composed verdict %t, inner-on-transformed %t", i, got, want)
+		}
+	}
+	// And the escalation must be observable: a bit colliding with a row
+	// fault must matter more than the row fault alone at least once in
+	// the transform (the escalated Word is present).
+	tr := handTransform(pred, cases[3])
+	if len(tr) != 2 || tr[0].Class != fault.Word {
+		t.Fatalf("expected escalated Word + Row, got %+v", tr)
+	}
+}
